@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Ablations of PMDebugger's design choices (Section 4):
+ *
+ *  - bookkeeping organization: the paper's hybrid array+tree vs a
+ *    traditional tree-only design vs an array-only design;
+ *  - the lazy merge threshold (Section 4.4's 500);
+ *  - the memory-location array capacity (Section 4.1's fixed size).
+ *
+ * Each ablation reports debugging time on the workloads that stress
+ * the corresponding mechanism.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "detectors/pmdebugger_detector.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+double
+runConfiguredOnce(const std::string &workload_name,
+                  const DebuggerConfig &base_config, std::size_t ops,
+                  std::uint64_t seed)
+{
+    auto workload = makeWorkload(workload_name);
+    DebuggerConfig config = base_config;
+    config.model = workload->model();
+    PmRuntime runtime;
+    PmDebuggerDetector detector(std::move(config));
+    runtime.attach(&detector);
+    WorkloadOptions options;
+    options.operations = ops;
+    options.seed = seed;
+    options.trackPersistence = false;
+    Stopwatch watch;
+    workload->run(runtime, options);
+    const double seconds = watch.elapsedSeconds();
+    detector.finalize();
+    return seconds;
+}
+
+/** Median of three repetitions. */
+double
+runConfigured(const std::string &workload_name, DebuggerConfig config,
+              std::size_t ops)
+{
+    std::vector<double> times;
+    for (int r = 0; r < 3; ++r)
+        times.push_back(runConfiguredOnce(workload_name, config, ops,
+                                          42 + r));
+    std::sort(times.begin(), times.end());
+    return times[1];
+}
+
+int
+benchMain()
+{
+    const std::size_t ops = scaled(30000);
+
+    std::printf("=== Ablation 1: bookkeeping organization ===\n");
+    {
+        TextTable table;
+        table.setHeader({"workload", "hybrid(s)", "tree-only(s)",
+                         "array-only(s)", "tree-only/hybrid"});
+        for (const std::string &workload :
+             {std::string("b_tree"), std::string("hashmap_atomic"),
+              std::string("hashmap_tx")}) {
+            DebuggerConfig hybrid, tree_only, array_only;
+            hybrid.bookkeeping = BookkeepingMode::Hybrid;
+            tree_only.bookkeeping = BookkeepingMode::TreeOnly;
+            array_only.bookkeeping = BookkeepingMode::ArrayOnly;
+            const double th = runConfigured(workload, hybrid, ops);
+            const double tt = runConfigured(workload, tree_only, ops);
+            const double ta = runConfigured(workload, array_only, ops);
+            table.addRow({workload, fmtDouble(th, 4), fmtDouble(tt, 4),
+                          fmtDouble(ta, 4), fmtFactor(tt / th, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("(the hybrid should beat tree-only everywhere — "
+                    "that is the paper's core claim;\narray-only wins "
+                    "only when nothing is long-lived and degrades on "
+                    "hashmap_tx)\n\n");
+    }
+
+    std::printf("=== Ablation 2: lazy merge threshold (paper: 500) "
+                "===\n");
+    {
+        TextTable table;
+        table.setHeader({"threshold", "hashmap_tx(s)", "reorgs"});
+        for (std::size_t threshold : {16, 64, 500, 4096}) {
+            DebuggerConfig config;
+            config.mergeThreshold = threshold;
+            auto workload = makeWorkload("hashmap_tx");
+            config.model = workload->model();
+            PmRuntime runtime;
+            PmDebuggerDetector detector(std::move(config));
+            runtime.attach(&detector);
+            WorkloadOptions options;
+            options.operations = ops;
+            options.trackPersistence = false;
+            Stopwatch watch;
+            workload->run(runtime, options);
+            const double seconds = watch.elapsedSeconds();
+            detector.finalize();
+            table.addRow(
+                {std::to_string(threshold), fmtDouble(seconds, 4),
+                 fmtCount(detector.stats().tree.reorganizations)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("=== Ablation 3: memory-location array capacity ===\n");
+    {
+        TextTable table;
+        table.setHeader({"capacity", "b_tree(s)", "overflow stores"});
+        for (std::size_t capacity : {16, 256, 4096, 100000}) {
+            DebuggerConfig config;
+            config.arrayCapacity = capacity;
+            auto workload = makeWorkload("b_tree");
+            config.model = workload->model();
+            PmRuntime runtime;
+            PmDebuggerDetector detector(std::move(config));
+            runtime.attach(&detector);
+            WorkloadOptions options;
+            options.operations = ops;
+            options.trackPersistence = false;
+            Stopwatch watch;
+            workload->run(runtime, options);
+            const double seconds = watch.elapsedSeconds();
+            detector.finalize();
+            table.addRow(
+                {fmtCount(capacity), fmtDouble(seconds, 4),
+                 fmtCount(detector.stats().array.overflowStores)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("(capacity only matters once fence intervals "
+                    "overflow it; the paper sizes the\narray for "
+                    "~100,000 stores per fence interval)\n");
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Section 7.2 "Comparison with other state-of-the-arts": PMDebugger vs
+ * XFDetector and PMTest on the Table 4 benchmarks (all except r_tree,
+ * which neither baseline evaluates). Slowdowns exclude instrumentation
+ * differences exactly as the paper does: XFDetector/PMTest use
+ * different instrumentation mechanisms, so only relative debugging
+ * cost is comparable.
+ *
+ * Paper: XFDetector ~370x over native (cross-failure replay), PMTest
+ * ~3.8x (annotation-based, cheapest), PMDebugger ~7.5x — within 2x of
+ * PMTest while finding 38 more bugs than PMTest does (Table 6).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+int
+benchMain()
+{
+    // All Table 4 benchmarks except r_tree (Section 7.2).
+    const std::vector<std::string> workloads = {
+        "b_tree",        "c_tree",         "rb_tree",
+        "hashmap_tx",    "hashmap_atomic", "synth_strand",
+        "memcached",     "redis"};
+
+    TextTable table;
+    table.setHeader({"benchmark", "pmtest", "pmdebugger", "xfdetector",
+                     "xf/pmd"});
+
+    double sum_pmtest = 0.0, sum_pmdebugger = 0.0, sum_xf = 0.0;
+    for (const std::string &workload : workloads) {
+        // XFDetector replays its trace prefix at every failure point;
+        // keep the series at a size its superlinear cost can finish.
+        const std::size_t ops = scaled(10000);
+        const double native = runMedian(workload, "", ops).seconds;
+        const double pmtest =
+            runMedian(workload, "pmtest", ops).seconds;
+        const double pmdebugger =
+            runMedian(workload, "pmdebugger", ops).seconds;
+        const double xfdetector =
+            runMedian(workload, "xfdetector", ops, 1, 1).seconds;
+
+        table.addRow({workload, fmtFactor(pmtest / native),
+                      fmtFactor(pmdebugger / native),
+                      fmtFactor(xfdetector / native),
+                      fmtFactor(xfdetector / pmdebugger)});
+        sum_pmtest += pmtest / native;
+        sum_pmdebugger += pmdebugger / native;
+        sum_xf += xfdetector / native;
+    }
+
+    std::printf("=== Section 7.2: cross-tool slowdown vs native ===\n%s\n",
+                table.render().c_str());
+    const double n = static_cast<double>(workloads.size());
+    std::printf("Averages: pmtest %s, pmdebugger %s, xfdetector %s\n",
+                fmtFactor(sum_pmtest / n).c_str(),
+                fmtFactor(sum_pmdebugger / n).c_str(),
+                fmtFactor(sum_xf / n).c_str());
+    std::printf("(paper: PMTest 3.8x < PMDebugger 7.5x (within 2x) << "
+                "XFDetector ~370x.\nThe ordering and the 'within a "
+                "factor of 2 of PMTest' property are the\nreproduced "
+                "shape; XFDetector's factor grows with trace length "
+                "because every\nfailure point replays the prefix.)\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

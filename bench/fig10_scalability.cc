@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10 reproduction: memcached slowdown at 1/2/4/6 driver
+ * threads. Native memcached scales across threads (sharded locks);
+ * any Valgrind-style detector serializes the instrumented stream, so
+ * Pmemcheck's slowdown grows almost linearly with the thread count
+ * while PMDebugger's grows much more slowly thanks to its cheap
+ * bookkeeping (Section 7.5).
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+int
+benchMain()
+{
+    const std::size_t ops = scaled(200000);
+    TextTable table;
+    table.setHeader({"threads", "native(s)", "pmdebugger", "pmemcheck",
+                     "pmc/pmd"});
+
+    for (int threads : {1, 2, 4, 6}) {
+        const double native =
+            runMedian("memcached", "", ops, threads).seconds;
+        const double pmdebugger =
+            runMedian("memcached", "pmdebugger", ops, threads).seconds;
+        const double pmemcheck =
+            runMedian("memcached", "pmemcheck", ops, threads).seconds;
+        table.addRow({std::to_string(threads), fmtDouble(native, 4),
+                      fmtFactor(pmdebugger / native),
+                      fmtFactor(pmemcheck / native),
+                      fmtFactor(pmemcheck / pmdebugger, 2)});
+    }
+
+    std::printf("=== Figure 10: memcached slowdown vs thread count "
+                "===\n%s\n",
+                table.render().c_str());
+    std::printf("(paper: Pmemcheck's slowdown grows ~linearly with "
+                "threads; PMDebugger's grows\nmuch more slowly — the "
+                "shape to check is the widening pmc/pmd column.)\n");
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("host parallelism: %u hardware thread(s)\n", cores);
+    if (cores <= 1) {
+        std::printf(
+            "NOTE: this host has a single CPU, so the native baseline "
+            "cannot scale with\nthreads and the paper's divergence "
+            "(which is driven by native scaling against\na serialized "
+            "detector) cannot manifest; on a multicore host the native "
+            "column\nshrinks with threads and both slowdown columns "
+            "grow, Pmemcheck's faster.\n");
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

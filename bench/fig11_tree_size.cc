@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 11 + Section 7.5 reproduction: the average number of AVL
+ * tree nodes per fence interval for PMDebugger vs Pmemcheck, and the
+ * tree-reorganization counts behind the paper's "359,209 vs 788"
+ * comparison on hashmap_atomic.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+int
+benchMain()
+{
+    const std::vector<std::string> workloads = {
+        "b_tree",     "c_tree",         "r_tree",    "rb_tree",
+        "hashmap_tx", "hashmap_atomic", "memcached", "redis"};
+
+    TextTable table;
+    table.setHeader({"workload", "pmdebugger nodes", "pmemcheck nodes",
+                     "pmd reorgs", "pmc reorgs"});
+
+    for (const std::string &workload : workloads) {
+        const std::size_t ops = scaled(20000);
+        const BenchRun pmd = runWorkload(workload, "pmdebugger", ops);
+        const BenchRun pmc = runWorkload(workload, "pmemcheck", ops);
+        table.addRow(
+            {workload,
+             fmtDouble(pmd.stats.avgTreeNodesPerFenceInterval(), 1),
+             fmtDouble(pmc.stats.avgTreeNodesPerFenceInterval(), 1),
+             fmtCount(pmd.stats.tree.reorganizations),
+             fmtCount(pmc.stats.tree.reorganizations)});
+    }
+
+    std::printf("=== Figure 11: average AVL nodes per fence interval "
+                "===\n%s\n",
+                table.render().c_str());
+    std::printf(
+        "(paper: PMDebugger's tree holds <25 nodes everywhere except "
+        "hashmap_tx (528,\nits deferred-persistence statistics), always "
+        "below Pmemcheck's. Section 7.5:\non hashmap_atomic Pmemcheck "
+        "performs 359,209 tree reorganizations vs\nPMDebugger's 788 — "
+        "check the reorgs columns for the orders-of-magnitude gap.)\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

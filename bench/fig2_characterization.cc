@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 2 reproduction: characterization of PM programs.
+ *
+ * Prints, for each workload of the paper's characterization set
+ * (the PMDK micro-benchmarks plus YCSB loads A-F against memcached):
+ *  (a) the store→durability-fence distance distribution,
+ *  (b) the fraction of CLF intervals with collective writeback,
+ *  (c) the store / writeback / fence instruction mix.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "charz/characterize.hh"
+#include "trace/recorder.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+CharacterizationResult
+characterizeWorkload(const std::string &name, std::size_t ops)
+{
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    auto workload = makeWorkload(name);
+    WorkloadOptions options;
+    options.operations = ops;
+    options.seed = 42;
+    options.trackPersistence = false;
+    workload->run(runtime, options);
+    return characterize(recorder.events());
+}
+
+int
+benchMain()
+{
+    const std::vector<std::string> workloads = {
+        "b_tree", "c_tree",  "rb_tree", "hashmap_tx", "hashmap_atomic",
+        "ycsb_a", "ycsb_b",  "ycsb_c",  "ycsb_d",     "ycsb_e",
+        "ycsb_f"};
+
+    TextTable dist;
+    dist.setHeader({"workload", "d=1", "d=2", "d=3", "d=4", "d=5",
+                    "d>5", "cum<=3"});
+    TextTable collective;
+    collective.setHeader({"workload", "collective", "dispersed"});
+    TextTable mix;
+    mix.setHeader({"workload", "store", "writeback", "fence"});
+
+    double sum_d1 = 0.0, sum_le3 = 0.0, sum_collective = 0.0;
+    for (const std::string &name : workloads) {
+        const auto r = characterizeWorkload(name, scaled(10000));
+        dist.addRow({name, fmtPercent(r.distancePercent(1)),
+                     fmtPercent(r.distancePercent(2)),
+                     fmtPercent(r.distancePercent(3)),
+                     fmtPercent(r.distancePercent(4)),
+                     fmtPercent(r.distancePercent(5)),
+                     fmtPercent(r.distancePercent(6)),
+                     fmtPercent(r.distanceCumulativePercent(3))});
+        collective.addRow({name, fmtPercent(r.collectivePercent()),
+                           fmtPercent(100.0 - r.collectivePercent())});
+        mix.addRow({name, fmtPercent(r.storePercent()),
+                    fmtPercent(r.flushPercent()),
+                    fmtPercent(r.fencePercent())});
+        sum_d1 += r.distancePercent(1);
+        sum_le3 += r.distanceCumulativePercent(3);
+        sum_collective += r.collectivePercent();
+    }
+
+    std::printf("=== Figure 2a: store-to-fence distance distribution "
+                "===\n%s\n",
+                dist.render().c_str());
+    std::printf("Average d=1: %s (paper: >77.7%% of stores)\n",
+                fmtPercent(sum_d1 / workloads.size()).c_str());
+    std::printf("Average d<=3: %s (paper: 84.5%%)\n\n",
+                fmtPercent(sum_le3 / workloads.size()).c_str());
+
+    std::printf("=== Figure 2b: collective vs dispersed writeback "
+                "===\n%s\n",
+                collective.render().c_str());
+    std::printf("Average collective: %s (paper: >71%% of CLF "
+                "intervals)\n\n",
+                fmtPercent(sum_collective / workloads.size()).c_str());
+
+    std::printf("=== Figure 2c: instruction mix ===\n%s\n",
+                mix.render().c_str());
+    std::printf("(paper: store >= 40.2%% everywhere, ~70%% for most "
+                "micro-benchmarks)\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the per-event costs of each
+ * detector's bookkeeping: store/CLF/fence processing on synthetic
+ * streams shaped like the paper's patterns (collective, dispersed,
+ * tree-bound), plus the raw data-structure operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/avl_tree.hh"
+#include "core/mem_array.hh"
+#include "detectors/registry.hh"
+#include "trace/runtime.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+/** Pattern 1/2 stream: per op, 3 stores to one line + CLF + fence. */
+template <typename SinkFactory>
+void
+collectiveStream(benchmark::State &state, SinkFactory make_sink)
+{
+    auto sink = make_sink();
+    PmRuntime runtime;
+    runtime.setDbiCosts(0, 0); // isolate bookkeeping cost
+    runtime.attach(sink.get());
+    Addr base = 0;
+    for (auto _ : state) {
+        runtime.store(base, 8);
+        runtime.store(base + 8, 8);
+        runtime.store(base + 16, 8);
+        runtime.flush(base, 64);
+        runtime.fence();
+        base = (base + 64) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations() * 5);
+}
+
+void
+BM_CollectiveStream_PmDebugger(benchmark::State &state)
+{
+    collectiveStream(state, [] { return makeDetector("pmdebugger"); });
+}
+BENCHMARK(BM_CollectiveStream_PmDebugger);
+
+void
+BM_CollectiveStream_Pmemcheck(benchmark::State &state)
+{
+    collectiveStream(state, [] { return makeDetector("pmemcheck"); });
+}
+BENCHMARK(BM_CollectiveStream_Pmemcheck);
+
+void
+BM_CollectiveStream_Nulgrind(benchmark::State &state)
+{
+    collectiveStream(state, [] { return makeDetector("nulgrind"); });
+}
+BENCHMARK(BM_CollectiveStream_Nulgrind);
+
+/** Dispersed stream: stores scattered over lines, flushed separately. */
+template <typename SinkFactory>
+void
+dispersedStream(benchmark::State &state, SinkFactory make_sink)
+{
+    auto sink = make_sink();
+    PmRuntime runtime;
+    runtime.setDbiCosts(0, 0);
+    runtime.attach(sink.get());
+    Addr base = 0;
+    for (auto _ : state) {
+        runtime.store(base, 8);
+        runtime.store(base + 4096, 8);
+        runtime.flush(base, 64);
+        runtime.flush(base + 4096, 64);
+        runtime.fence();
+        base = (base + 64) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations() * 5);
+}
+
+void
+BM_DispersedStream_PmDebugger(benchmark::State &state)
+{
+    dispersedStream(state, [] { return makeDetector("pmdebugger"); });
+}
+BENCHMARK(BM_DispersedStream_PmDebugger);
+
+void
+BM_DispersedStream_Pmemcheck(benchmark::State &state)
+{
+    dispersedStream(state, [] { return makeDetector("pmemcheck"); });
+}
+BENCHMARK(BM_DispersedStream_Pmemcheck);
+
+/** Long-lived records: stores that survive many fences (tree-bound). */
+template <typename SinkFactory>
+void
+treeBoundStream(benchmark::State &state, SinkFactory make_sink)
+{
+    auto sink = make_sink();
+    PmRuntime runtime;
+    runtime.setDbiCosts(0, 0);
+    runtime.attach(sink.get());
+    Addr deferred = 1 << 22;
+    for (auto _ : state) {
+        runtime.store(deferred, 8); // never flushed here
+        deferred = (1 << 22) + ((deferred + 64) & 0xffff);
+        runtime.store(0, 8);
+        runtime.flush(0, 64);
+        runtime.fence();
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void
+BM_TreeBoundStream_PmDebugger(benchmark::State &state)
+{
+    treeBoundStream(state, [] { return makeDetector("pmdebugger"); });
+}
+BENCHMARK(BM_TreeBoundStream_PmDebugger);
+
+void
+BM_TreeBoundStream_Pmemcheck(benchmark::State &state)
+{
+    treeBoundStream(state, [] { return makeDetector("pmemcheck"); });
+}
+BENCHMARK(BM_TreeBoundStream_Pmemcheck);
+
+/** Raw structure ops: array append vs AVL insert. */
+void
+BM_MemArrayAppend(benchmark::State &state)
+{
+    MemoryLocationArray array(1 << 16);
+    AvlTree tree;
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (array.full()) {
+            array.applyFlush(AddrRange(0, ~Addr(0) - 64), tree);
+            array.processFence(tree);
+        }
+        array.append(LocationRecord(AddrRange::fromSize(addr, 8),
+                                    FlushState::NotFlushed, false, 1));
+        addr += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemArrayAppend);
+
+void
+BM_AvlInsertLazy(benchmark::State &state)
+{
+    AvlTree tree(MergePolicy::Lazy);
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (tree.size() > 4096)
+            tree.clear();
+        tree.insert(LocationRecord(AddrRange::fromSize(addr, 8),
+                                   FlushState::NotFlushed, false, 1));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AvlInsertLazy);
+
+void
+BM_AvlInsertEagerMerge(benchmark::State &state)
+{
+    AvlTree tree(MergePolicy::Eager);
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (tree.size() > 4096)
+            tree.clear();
+        // Adjacent inserts: every one triggers the eager merge.
+        tree.insert(LocationRecord(AddrRange::fromSize(addr, 8),
+                                   FlushState::NotFlushed, false, 1));
+        addr += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AvlInsertEagerMerge);
+
+} // namespace
+} // namespace pmdb
+
+BENCHMARK_MAIN();

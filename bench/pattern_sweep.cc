@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Pattern-space sweep: how each detector's bookkeeping cost moves as
+ * the paper's three program patterns degrade.
+ *
+ * Section 3's characterization is the entire justification for
+ * PMDebugger's design: records die at the nearest fence (Pattern 1)
+ * and writebacks are collective (Pattern 2), so an append-only array
+ * with interval metadata beats a tree. This bench uses the
+ * parameterized generator to sweep exactly those properties and
+ * measures PMDebugger and Pmemcheck on each point — quantifying where
+ * PMDebugger's advantage comes from and where it shrinks (long
+ * distances push records into its AVL tree, its own worst case).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "detectors/registry.hh"
+#include "workloads/synth_patterns.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+double
+runPattern(const PatternParams &params, const std::string &detector_name,
+           std::size_t ops)
+{
+    std::vector<double> times;
+    for (int rep = 0; rep < 3; ++rep) {
+        PmRuntime runtime;
+        std::unique_ptr<Detector> detector;
+        if (!detector_name.empty()) {
+            detector = makeDetector(detector_name, {});
+            runtime.attach(detector.get());
+        }
+        PmemPool pool(runtime, 64 << 20, "sweep.pool",
+                      /*track_persistence=*/false);
+        PatternGenerator generator(pool, params, 42 + rep, 8192);
+        Stopwatch watch;
+        for (std::size_t i = 0; i < ops; ++i) {
+            runtime.appOp();
+            generator.operation();
+        }
+        generator.drain();
+        times.push_back(watch.elapsedSeconds());
+        if (detector)
+            detector->finalize();
+    }
+    std::sort(times.begin(), times.end());
+    return times[1];
+}
+
+int
+benchMain()
+{
+    const std::size_t ops = scaled(30000);
+
+    std::printf("=== Sweep 1: nearest-fence durability (Pattern 1) ===\n"
+                "Fraction of stores persisted by the nearest fence; the "
+                "rest defer 2-7 fences\n(and therefore migrate into the "
+                "trackers' trees).\n\n");
+    {
+        TextTable table;
+        table.setHeader({"d=1 weight", "native(s)", "pmdebugger",
+                         "pmemcheck", "pmc/pmd"});
+        for (double d1 : {1.0, 0.85, 0.6, 0.3, 0.0}) {
+            PatternParams params;
+            params.distanceWeights = {d1, (1 - d1) * 0.4,
+                                      (1 - d1) * 0.3, (1 - d1) * 0.15,
+                                      (1 - d1) * 0.1, (1 - d1) * 0.05};
+            const double native = runPattern(params, "", ops);
+            const double pmd = runPattern(params, "pmdebugger", ops);
+            const double pmc = runPattern(params, "pmemcheck", ops);
+            table.addRow({fmtDouble(d1, 2), fmtDouble(native, 4),
+                          fmtFactor(pmd / native),
+                          fmtFactor(pmc / native),
+                          fmtFactor(pmc / pmd, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("(as Pattern 1 degrades, PMDebugger's records "
+                    "survive into its AVL tree and its\nadvantage "
+                    "narrows — the paper's hashmap_tx effect, here "
+                    "isolated)\n\n");
+    }
+
+    std::printf("=== Sweep 2: collective writeback (Pattern 2) ===\n\n");
+    {
+        TextTable table;
+        table.setHeader({"collective ratio", "native(s)", "pmdebugger",
+                         "pmemcheck", "pmc/pmd"});
+        for (double collective : {1.0, 0.7, 0.4, 0.0}) {
+            PatternParams params;
+            params.collectiveRatio = collective;
+            const double native = runPattern(params, "", ops);
+            const double pmd = runPattern(params, "pmdebugger", ops);
+            const double pmc = runPattern(params, "pmemcheck", ops);
+            table.addRow({fmtDouble(collective, 2),
+                          fmtDouble(native, 4), fmtFactor(pmd / native),
+                          fmtFactor(pmc / native),
+                          fmtFactor(pmc / pmd, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("(collective writebacks are what the CLF-interval "
+                    "metadata exploits: one\nmetadata update instead of "
+                    "per-record work)\n\n");
+    }
+
+    std::printf("=== Sweep 3: instruction mix (Pattern 3) ===\n\n");
+    {
+        TextTable table;
+        table.setHeader({"stores/op", "native(s)", "pmdebugger",
+                         "pmemcheck", "pmc/pmd"});
+        for (int stores : {1, 2, 4, 8}) {
+            PatternParams params;
+            params.storesPerOp = stores;
+            const double native = runPattern(params, "", ops);
+            const double pmd = runPattern(params, "pmdebugger", ops);
+            const double pmc = runPattern(params, "pmemcheck", ops);
+            table.addRow({std::to_string(stores), fmtDouble(native, 4),
+                          fmtFactor(pmd / native),
+                          fmtFactor(pmc / native),
+                          fmtFactor(pmc / pmd, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("(the more store-dominated the mix, the more "
+                    "Pmemcheck's per-store tree\nmaintenance costs "
+                    "relative to PMDebugger's O(1) appends)\n");
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

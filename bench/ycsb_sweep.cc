@@ -1,0 +1,60 @@
+/**
+ * @file
+ * YCSB sweep: detector slowdowns across the six YCSB core loads run
+ * against the mini-memcached (the workload set the paper uses for its
+ * characterization, Figure 2, exercised here for performance as
+ * well). Write-heavy loads (A, F) produce the most PM traffic and the
+ * widest detector separation; read-only load C bounds the
+ * instrumentation floor.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+int
+benchMain()
+{
+    const std::size_t ops = scaled(30000);
+    TextTable table;
+    table.setHeader({"load", "native(s)", "nulgrind", "pmdebugger",
+                     "pmemcheck", "pmc/pmd"});
+
+    for (char load = 'a'; load <= 'f'; ++load) {
+        const std::string workload = std::string("ycsb_") + load;
+        const double native = runMedian(workload, "", ops).seconds;
+        const double nulgrind =
+            runMedian(workload, "nulgrind", ops).seconds;
+        const double pmdebugger =
+            runMedian(workload, "pmdebugger", ops).seconds;
+        const double pmemcheck =
+            runMedian(workload, "pmemcheck", ops).seconds;
+        table.addRow({workload, fmtDouble(native, 4),
+                      fmtFactor(nulgrind / native),
+                      fmtFactor(pmdebugger / native),
+                      fmtFactor(pmemcheck / native),
+                      fmtFactor(pmemcheck / pmdebugger, 2)});
+    }
+
+    std::printf("=== YCSB A-F against memcached: detector slowdowns "
+                "===\n%s\n",
+                table.render().c_str());
+    std::printf("(loads A and F are update-heavy — the most PM events "
+                "per op and the widest\ndetector gap; load C is "
+                "read-only and bounds the instrumentation floor)\n");
+    return 0;
+}
+
+} // namespace
+} // namespace pmdb
+
+int
+main()
+{
+    return pmdb::benchMain();
+}

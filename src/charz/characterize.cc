@@ -1,0 +1,265 @@
+#include "charz/characterize.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace pmdb
+{
+
+namespace
+{
+
+/** One pending (not yet durable) store being tracked. */
+struct PendingStore
+{
+    AddrRange range;
+    /** Fence count at the time of the store. */
+    std::uint64_t fencesAtStore;
+    /** Merged flushed sub-ranges. */
+    std::vector<AddrRange> covered;
+    /** CLF interval this store belongs to. */
+    std::size_t interval;
+    bool coverageComplete = false;
+    bool resolved = false;
+};
+
+/** One CLF interval being classified (Figure 2b). */
+struct IntervalState
+{
+    std::uint64_t storeCount = 0;
+    std::uint64_t uncovered = 0;
+    /** Distinct CLF events that covered at least one of its stores. */
+    std::uint64_t contributingFlushes = 0;
+    SeqNum lastContributingFlush = 0;
+    bool classified = false;
+};
+
+void
+addCoverage(PendingStore &store, const AddrRange &part)
+{
+    store.covered.push_back(part);
+    std::sort(store.covered.begin(), store.covered.end(),
+              [](const AddrRange &a, const AddrRange &b) {
+                  return a.start < b.start;
+              });
+    std::vector<AddrRange> merged;
+    for (const AddrRange &p : store.covered) {
+        if (!merged.empty() && merged.back().adjacentOrOverlapping(p))
+            merged.back() = merged.back().unionWith(p);
+        else
+            merged.push_back(p);
+    }
+    store.covered = std::move(merged);
+    for (const AddrRange &p : store.covered) {
+        if (p.contains(store.range)) {
+            store.coverageComplete = true;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+CharacterizationResult
+characterize(const std::vector<Event> &trace)
+{
+    CharacterizationResult result;
+
+    std::vector<PendingStore> pending;
+    std::vector<IntervalState> intervals;
+    /** Cache line index -> pending-store indices touching that line. */
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> byLine;
+    std::uint64_t fence_count = 0;
+    std::size_t current_interval = ~std::size_t(0);
+
+    auto openInterval = [&]() {
+        intervals.push_back(IntervalState{});
+        current_interval = intervals.size() - 1;
+    };
+    openInterval();
+
+    for (const Event &event : trace) {
+        switch (event.kind) {
+          case EventKind::Store: {
+            ++result.stores;
+            PendingStore store;
+            store.range = event.range();
+            store.fencesAtStore = fence_count;
+            store.interval = current_interval;
+            pending.push_back(std::move(store));
+            const std::size_t idx = pending.size() - 1;
+            ++intervals[current_interval].storeCount;
+            ++intervals[current_interval].uncovered;
+            const std::uint64_t first = cacheLineIndex(event.addr);
+            const std::uint64_t last =
+                cacheLineIndex(event.addr + event.size - 1);
+            for (std::uint64_t line = first; line <= last; ++line)
+                byLine[line].push_back(idx);
+            break;
+          }
+          case EventKind::Flush: {
+            ++result.flushes;
+            const AddrRange range = event.range();
+            const std::uint64_t first = cacheLineIndex(range.start);
+            const std::uint64_t last = cacheLineIndex(range.end - 1);
+            for (std::uint64_t line = first; line <= last; ++line) {
+                auto it = byLine.find(line);
+                if (it == byLine.end())
+                    continue;
+                for (std::size_t idx : it->second) {
+                    PendingStore &store = pending[idx];
+                    if (store.resolved || store.coverageComplete)
+                        continue;
+                    const AddrRange part = store.range.intersect(range);
+                    if (part.empty())
+                        continue;
+                    addCoverage(store, part);
+                    IntervalState &interval = intervals[store.interval];
+                    if (store.coverageComplete && !interval.classified) {
+                        --interval.uncovered;
+                        if (interval.lastContributingFlush != event.seq) {
+                            ++interval.contributingFlushes;
+                            interval.lastContributingFlush = event.seq;
+                        }
+                        if (interval.uncovered == 0) {
+                            interval.classified = true;
+                            if (interval.contributingFlushes == 1)
+                                ++result.collectiveIntervals;
+                            else
+                                ++result.dispersedIntervals;
+                        }
+                    }
+                }
+            }
+            // A CLF ends the current interval (the next store starts a
+            // new one).
+            if (intervals[current_interval].storeCount > 0)
+                openInterval();
+            break;
+          }
+          case EventKind::Fence:
+          case EventKind::JoinStrand: {
+            ++result.fences;
+            ++fence_count;
+            // Resolve stores whose coverage is complete.
+            for (PendingStore &store : pending) {
+                if (store.resolved || !store.coverageComplete)
+                    continue;
+                store.resolved = true;
+                ++result.resolvedStores;
+                const std::uint64_t distance =
+                    fence_count - store.fencesAtStore;
+                const std::size_t bucket =
+                    distance >= 6 ? 5 : static_cast<std::size_t>(
+                                            distance - 1);
+                ++result.distanceCounts[bucket];
+            }
+            // Compact: drop resolved stores periodically to bound work.
+            if (pending.size() > 65536) {
+                std::vector<PendingStore> kept;
+                std::vector<std::size_t> remap(pending.size(),
+                                               ~std::size_t(0));
+                for (std::size_t i = 0; i < pending.size(); ++i) {
+                    if (!pending[i].resolved) {
+                        remap[i] = kept.size();
+                        kept.push_back(std::move(pending[i]));
+                    }
+                }
+                pending = std::move(kept);
+                for (auto &[line, list] : byLine) {
+                    std::vector<std::size_t> updated;
+                    for (std::size_t idx : list) {
+                        if (remap[idx] != ~std::size_t(0))
+                            updated.push_back(remap[idx]);
+                    }
+                    list = std::move(updated);
+                }
+                std::erase_if(byLine,
+                              [](const auto &kv) {
+                                  return kv.second.empty();
+                              });
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (const PendingStore &store : pending) {
+        if (!store.resolved)
+            ++result.unresolvedStores;
+    }
+    return result;
+}
+
+double
+CharacterizationResult::distancePercent(int d) const
+{
+    if (!resolvedStores || d < 1 || d > 6)
+        return 0.0;
+    return 100.0 * static_cast<double>(distanceCounts[d - 1]) /
+           static_cast<double>(resolvedStores);
+}
+
+double
+CharacterizationResult::distanceCumulativePercent(int d) const
+{
+    double total = 0.0;
+    for (int i = 1; i <= d && i <= 6; ++i)
+        total += distancePercent(i);
+    return total;
+}
+
+double
+CharacterizationResult::collectivePercent() const
+{
+    const std::uint64_t total = collectiveIntervals + dispersedIntervals;
+    if (!total)
+        return 0.0;
+    return 100.0 * static_cast<double>(collectiveIntervals) /
+           static_cast<double>(total);
+}
+
+double
+CharacterizationResult::storePercent() const
+{
+    const std::uint64_t total = stores + flushes + fences;
+    return total ? 100.0 * static_cast<double>(stores) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CharacterizationResult::flushPercent() const
+{
+    const std::uint64_t total = stores + flushes + fences;
+    return total ? 100.0 * static_cast<double>(flushes) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CharacterizationResult::fencePercent() const
+{
+    const std::uint64_t total = stores + flushes + fences;
+    return total ? 100.0 * static_cast<double>(fences) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::string
+CharacterizationResult::toString() const
+{
+    std::ostringstream out;
+    out << "stores=" << stores << " flushes=" << flushes
+        << " fences=" << fences << "\ndistance:";
+    for (int d = 1; d <= 5; ++d)
+        out << " d" << d << "=" << distancePercent(d) << "%";
+    out << " d>5=" << distancePercent(6) << "%";
+    out << "\ncollective=" << collectivePercent() << "%";
+    return out.str();
+}
+
+} // namespace pmdb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PM program characterization (Section 3, Figure 2).
+ *
+ * Reproduces the paper's three measurements over an instrumented
+ * trace:
+ *
+ *  - Figure 2a: the distribution of the *distance* between a store and
+ *    the fence that guarantees its durability — the number of fences
+ *    from the store up to and including the durability fence (the
+ *    first fence after a CLF has fully covered the store);
+ *  - Figure 2b: the fraction of CLF intervals with *collective*
+ *    writeback (all locations updated in the interval persisted by a
+ *    single CLF) versus *dispersed* writeback (multiple CLFs needed);
+ *  - Figure 2c: the instruction mix of store / writeback / fence.
+ *
+ * These three patterns motivate PMDebugger's design (Patterns 1-3).
+ */
+
+#ifndef PMDB_CHARZ_CHARACTERIZE_HH
+#define PMDB_CHARZ_CHARACTERIZE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace pmdb
+{
+
+/** Results of characterizing one trace. */
+struct CharacterizationResult
+{
+    /** Distance histogram: index d-1 counts stores with distance d
+     * (1..5); index 5 counts distance > 5. */
+    std::array<std::uint64_t, 6> distanceCounts{};
+    /** Stores whose durability fence was observed. */
+    std::uint64_t resolvedStores = 0;
+    /** Stores never durable within the trace. */
+    std::uint64_t unresolvedStores = 0;
+
+    /** CLF intervals persisted by one single CLF. */
+    std::uint64_t collectiveIntervals = 0;
+    /** CLF intervals needing multiple CLFs. */
+    std::uint64_t dispersedIntervals = 0;
+
+    std::uint64_t stores = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t fences = 0;
+
+    /** Percentage of resolved stores with distance bucket @p d (1-6,
+     * 6 meaning ">5"). */
+    double distancePercent(int d) const;
+
+    /** Percentage of stores with distance <= @p d. */
+    double distanceCumulativePercent(int d) const;
+
+    double collectivePercent() const;
+
+    /** Percentage of each instruction among the three (Figure 2c). */
+    double storePercent() const;
+    double flushPercent() const;
+    double fencePercent() const;
+
+    std::string toString() const;
+};
+
+/** Characterize a recorded trace. */
+CharacterizationResult characterize(const std::vector<Event> &trace);
+
+} // namespace pmdb
+
+#endif // PMDB_CHARZ_CHARACTERIZE_HH

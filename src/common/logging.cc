@@ -1,0 +1,74 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+#include "types.hh"
+
+namespace pmdb
+{
+
+LogLevel &
+Logger::threshold()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (level < threshold())
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug: tag = "debug"; break;
+      case LogLevel::Info:  tag = "info";  break;
+      case LogLevel::Warn:  tag = "warn";  break;
+      case LogLevel::Error: tag = "error"; break;
+    }
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::log(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::log(LogLevel::Warn, msg);
+}
+
+void
+logError(const std::string &msg)
+{
+    Logger::log(LogLevel::Error, msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+std::string
+AddrRange::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[0x%llx, 0x%llx)",
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(end));
+    return buf;
+}
+
+} // namespace pmdb

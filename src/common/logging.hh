@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal leveled logging plus panic/fatal helpers, in the spirit of
+ * gem5's base/logging.hh: panic() for internal invariant violations,
+ * fatal() for unrecoverable user/configuration errors.
+ */
+
+#ifndef PMDB_COMMON_LOGGING_HH
+#define PMDB_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pmdb
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log configuration. Quiet by default so benchmarks and tests
+ * are not flooded; examples turn Info on.
+ */
+class Logger
+{
+  public:
+    static LogLevel &threshold();
+
+    static void log(LogLevel level, const std::string &msg);
+};
+
+/** Log at Info level. */
+void inform(const std::string &msg);
+/** Log at Warn level. */
+void warn(const std::string &msg);
+/** Log at Error level. */
+void logError(const std::string &msg);
+
+/**
+ * Abort due to an internal bug: an invariant that should hold regardless
+ * of input has been violated.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit due to an unrecoverable condition caused by the caller
+ * (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace pmdb
+
+#endif // PMDB_COMMON_LOGGING_HH

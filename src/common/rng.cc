@@ -1,0 +1,148 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four xoshiro words from splitmix64, per the reference
+    // implementation's recommendation; guards against the all-zero state.
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with bound 0");
+    // Multiply-shift range reduction; bias is negligible for our uses.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t item_count, double theta,
+                                   std::uint64_t seed)
+    : items_(item_count), theta_(theta), rng_(seed)
+{
+    if (items_ == 0)
+        fatal("ZipfianGenerator requires a non-empty item space");
+    zetan_ = zeta(items_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfianGenerator::zeta(std::uint64_t n, double theta) const
+{
+    // Exact up to a cap, then the Euler-Maclaurin tail approximation so
+    // constructing a generator over 10^8 keys stays cheap.
+    constexpr std::uint64_t exactCap = 1'000'000;
+    double sum = 0.0;
+    const std::uint64_t exact_n = std::min(n, exactCap);
+    for (std::uint64_t i = 1; i <= exact_n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > exactCap) {
+        const double a = static_cast<double>(exactCap);
+        const double b = static_cast<double>(n);
+        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+               (1.0 - theta);
+    }
+    return sum;
+}
+
+std::uint64_t
+ZipfianGenerator::next()
+{
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double frac =
+        static_cast<double>(items_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    auto idx = static_cast<std::uint64_t>(frac);
+    return idx >= items_ ? items_ - 1 : idx;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(
+    std::uint64_t item_count, std::uint64_t seed)
+    : zipf_(item_count, 0.99, seed), items_(item_count)
+{
+}
+
+std::uint64_t
+ScrambledZipfianGenerator::next()
+{
+    return mix64(zipf_.next()) % items_;
+}
+
+} // namespace pmdb

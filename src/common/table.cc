@@ -1,0 +1,98 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace pmdb
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            out << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < cols)
+                out << "  ";
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            total += width[c] + (c + 1 < cols ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtFactor(double v, int decimals)
+{
+    return fmtDouble(v, decimals) + "x";
+}
+
+std::string
+fmtPercent(double v, int decimals)
+{
+    return fmtDouble(v, decimals) + "%";
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int pos = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (pos && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace pmdb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Every bench
+ * binary prints the same rows/series the paper's tables and figures
+ * report; TextTable keeps that output aligned and diffable.
+ */
+
+#ifndef PMDB_COMMON_TABLE_HH
+#define PMDB_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmdb
+{
+
+/**
+ * Column-aligned text table. Add a header row, then data rows; render()
+ * pads each column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the full table with a separator under the header. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format as "12.3x" slowdown/speedup factor. */
+std::string fmtFactor(double v, int decimals = 1);
+
+/** Format as "12.3%" percentage. */
+std::string fmtPercent(double v, int decimals = 1);
+
+/** Format an integer with thousands separators ("1,234,567"). */
+std::string fmtCount(std::uint64_t v);
+
+} // namespace pmdb
+
+#endif // PMDB_COMMON_TABLE_HH

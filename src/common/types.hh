@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental type aliases and address-range arithmetic shared by every
+ * module in the PMDebugger reproduction.
+ *
+ * Addresses in this project are simulated persistent-memory addresses:
+ * byte offsets into a PmemDevice image. All bookkeeping structures
+ * (memory-location array, CLF intervals, AVL tree) operate on
+ * half-open byte ranges [addr, addr + size).
+ */
+
+#ifndef PMDB_COMMON_TYPES_HH
+#define PMDB_COMMON_TYPES_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pmdb
+{
+
+/** Simulated persistent-memory address (byte offset into the device). */
+using Addr = std::uint64_t;
+
+/** Monotonic sequence number assigned to every instrumented event. */
+using SeqNum = std::uint64_t;
+
+/** Identifier of a strand section (strand persistency model). */
+using StrandId = std::int32_t;
+
+/** Identifier of an application thread issuing PM operations. */
+using ThreadId = std::int32_t;
+
+/** Size of a cache line in the simulated memory hierarchy. */
+constexpr std::size_t cacheLineSize = 64;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+cacheLineBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(cacheLineSize - 1);
+}
+
+/** Index of the cache line containing @p addr. */
+constexpr std::uint64_t
+cacheLineIndex(Addr addr)
+{
+    return addr / cacheLineSize;
+}
+
+/**
+ * Half-open byte range [start, end). The empty range is represented by
+ * start == end; all query methods treat empty ranges as overlapping
+ * nothing.
+ */
+struct AddrRange
+{
+    Addr start = 0;
+    Addr end = 0;
+
+    AddrRange() = default;
+    AddrRange(Addr s, Addr e) : start(s), end(e) {}
+
+    /** Build a range from a base address and byte size. */
+    static AddrRange
+    fromSize(Addr addr, std::size_t size)
+    {
+        return AddrRange(addr, addr + size);
+    }
+
+    std::size_t size() const { return static_cast<std::size_t>(end - start); }
+    bool empty() const { return end <= start; }
+
+    /** True if the ranges share at least one byte. */
+    bool
+    overlaps(const AddrRange &other) const
+    {
+        return start < other.end && other.start < end &&
+               !empty() && !other.empty();
+    }
+
+    /** True if this range fully contains @p other (other may be empty). */
+    bool
+    contains(const AddrRange &other) const
+    {
+        return start <= other.start && other.end <= end;
+    }
+
+    bool contains(Addr addr) const { return start <= addr && addr < end; }
+
+    /** Byte-wise intersection; empty if the ranges do not overlap. */
+    AddrRange
+    intersect(const AddrRange &other) const
+    {
+        Addr s = std::max(start, other.start);
+        Addr e = std::min(end, other.end);
+        if (s >= e)
+            return AddrRange();
+        return AddrRange(s, e);
+    }
+
+    /** True if the ranges touch or overlap (union would be contiguous). */
+    bool
+    adjacentOrOverlapping(const AddrRange &other) const
+    {
+        return start <= other.end && other.start <= end;
+    }
+
+    /** Smallest range covering both (caller ensures contiguity if needed). */
+    AddrRange
+    unionWith(const AddrRange &other) const
+    {
+        if (empty())
+            return other;
+        if (other.empty())
+            return *this;
+        return AddrRange(std::min(start, other.start),
+                         std::max(end, other.end));
+    }
+
+    bool operator==(const AddrRange &other) const = default;
+
+    std::string toString() const;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_COMMON_TYPES_HH

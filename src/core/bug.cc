@@ -1,0 +1,91 @@
+#include "core/bug.hh"
+
+#include <sstream>
+
+namespace pmdb
+{
+
+const char *
+toString(BugType type)
+{
+    switch (type) {
+      case BugType::NoDurability:          return "no-durability";
+      case BugType::MultipleOverwrite:     return "multiple-overwrite";
+      case BugType::NoOrderGuarantee:      return "no-order-guarantee";
+      case BugType::RedundantFlush:        return "redundant-flush";
+      case BugType::FlushNothing:          return "flush-nothing";
+      case BugType::RedundantLogging:      return "redundant-logging";
+      case BugType::LackDurabilityInEpoch: return "lack-durability-in-epoch";
+      case BugType::RedundantEpochFence:   return "redundant-epoch-fence";
+      case BugType::LackOrderingInStrands: return "lack-ordering-in-strands";
+      case BugType::CrossFailureSemantic:  return "cross-failure-semantic";
+    }
+    return "unknown";
+}
+
+std::string
+BugReport::toString() const
+{
+    std::ostringstream out;
+    out << pmdb::toString(type);
+    if (!range.empty())
+        out << " at " << range.toString();
+    if (cause == DurabilityCause::MissingFlush)
+        out << " (missing CLF)";
+    else if (cause == DurabilityCause::MissingFence)
+        out << " (missing fence)";
+    if (!detail.empty())
+        out << ": " << detail;
+    out << " [seq " << seq << "]";
+    return out.str();
+}
+
+bool
+BugCollector::report(const BugReport &report)
+{
+    ++occurrences_;
+    const SiteKey key{report.type, report.range.start, report.range.end};
+    auto [it, inserted] = sites_.try_emplace(key, bugs_.size());
+    if (!inserted)
+        return false;
+    bugs_.push_back(report);
+    return true;
+}
+
+std::size_t
+BugCollector::countOf(BugType type) const
+{
+    std::size_t n = 0;
+    for (const auto &bug : bugs_) {
+        if (bug.type == type)
+            ++n;
+    }
+    return n;
+}
+
+void
+BugCollector::clear()
+{
+    bugs_.clear();
+    sites_.clear();
+    occurrences_ = 0;
+}
+
+std::string
+BugCollector::summary() const
+{
+    std::ostringstream out;
+    out << "Bug summary: " << bugs_.size() << " unique site(s), "
+        << occurrences_ << " detection(s)\n";
+    for (int t = 0; t < bugTypeCount; ++t) {
+        const auto type = static_cast<BugType>(t);
+        const std::size_t n = countOf(type);
+        if (n)
+            out << "  " << pmdb::toString(type) << ": " << n << "\n";
+    }
+    for (const auto &bug : bugs_)
+        out << "  - " << bug.toString() << "\n";
+    return out.str();
+}
+
+} // namespace pmdb

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bug taxonomy and reporting.
+ *
+ * The ten bug types of Table 6: five common to all persistency models
+ * (Section 4.5), four specific to relaxed models (Section 5.2), plus
+ * cross-failure semantic bugs (Section 7.3).
+ */
+
+#ifndef PMDB_CORE_BUG_HH
+#define PMDB_CORE_BUG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmdb
+{
+
+/** The ten crash-consistency bug types of Table 6. */
+enum class BugType : std::uint8_t
+{
+    /** A PM location is not persisted after its last write (§4.5). */
+    NoDurability,
+    /** Same location written again before its durability is guaranteed. */
+    MultipleOverwrite,
+    /** Required persist order between two variables is violated. */
+    NoOrderGuarantee,
+    /** A location is flushed again before the nearest fence (perf bug). */
+    RedundantFlush,
+    /** A CLF that persists no prior store (perf bug). */
+    FlushNothing,
+    /** A data object logged more than once in one transaction (perf bug). */
+    RedundantLogging,
+    /** Locations updated in an epoch are not durable at epoch end. */
+    LackDurabilityInEpoch,
+    /** More than one fence inside an epoch section (perf bug). */
+    RedundantEpochFence,
+    /** Cross-strand persists violate a required order. */
+    LackOrderingInStrands,
+    /** Recovery reads semantically inconsistent (non-durable) data. */
+    CrossFailureSemantic,
+};
+
+/** Number of distinct bug types. */
+constexpr int bugTypeCount = 10;
+
+/** Short name used in reports and the Table 6 harness. */
+const char *toString(BugType type);
+
+/** Distinguishes the two causes of a NoDurability report. */
+enum class DurabilityCause : std::uint8_t
+{
+    NotApplicable,
+    /** Location was never flushed: the program is missing a CLF. */
+    MissingFlush,
+    /** Location was flushed but never fenced: missing a fence. */
+    MissingFence,
+};
+
+/** One detected bug occurrence. */
+struct BugReport
+{
+    BugType type = BugType::NoDurability;
+    /** PM range the bug concerns (empty for e.g. redundant epoch fence). */
+    AddrRange range;
+    /** Event sequence number at which the bug was detected. */
+    SeqNum seq = 0;
+    DurabilityCause cause = DurabilityCause::NotApplicable;
+    /** Human-readable explanation. */
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/**
+ * Collects bug reports, deduplicating repeat detections of the same
+ * (type, range) site so that loops do not inflate bug counts: a "bug"
+ * in the Table 6 sense is a unique program site.
+ */
+class BugCollector
+{
+  public:
+    /** Record a detection; returns true if this is a new site. */
+    bool report(const BugReport &report);
+
+    const std::vector<BugReport> &bugs() const { return bugs_; }
+
+    /** Unique sites of @p type. */
+    std::size_t countOf(BugType type) const;
+
+    /** Unique sites across all types. */
+    std::size_t total() const { return bugs_.size(); }
+
+    /** Total detections including deduplicated repeats. */
+    std::uint64_t occurrences() const { return occurrences_; }
+
+    bool hasAny(BugType type) const { return countOf(type) > 0; }
+
+    void clear();
+
+    /** Render a pmemcheck-style bug summary. */
+    std::string summary() const;
+
+  private:
+    struct SiteKey
+    {
+        BugType type;
+        Addr start;
+        Addr end;
+        auto operator<=>(const SiteKey &) const = default;
+    };
+
+    std::vector<BugReport> bugs_;
+    std::map<SiteKey, std::size_t> sites_;
+    std::uint64_t occurrences_ = 0;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_BUG_HH

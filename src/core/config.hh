@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Debugger configuration: persistency model, bookkeeping parameters,
+ * rule toggles and the order specification.
+ */
+
+#ifndef PMDB_CORE_CONFIG_HH
+#define PMDB_CORE_CONFIG_HH
+
+#include <cstddef>
+
+#include "core/order_spec.hh"
+
+namespace pmdb
+{
+
+/** The persistency model the debugged program follows (Section 2.3). */
+enum class PersistencyModel
+{
+    /** Persist order == volatile memory order. */
+    Strict,
+    /** Persists reorder freely within epochs (PMDK transactions). */
+    Epoch,
+    /** Strands are mutually unordered unless explicitly joined. */
+    Strand,
+};
+
+const char *toString(PersistencyModel model);
+
+/** Bookkeeping organisation; non-Hybrid modes exist for ablations. */
+enum class BookkeepingMode
+{
+    /** Array for the current fence interval + AVL tree (the paper). */
+    Hybrid,
+    /** Every store tracked in the AVL tree (traditional detectors). */
+    TreeOnly,
+    /** Array only; fence survivors are compacted, never re-distributed. */
+    ArrayOnly,
+};
+
+/** Configuration for a PmDebugger instance. */
+struct DebuggerConfig
+{
+    PersistencyModel model = PersistencyModel::Epoch;
+    BookkeepingMode bookkeeping = BookkeepingMode::Hybrid;
+
+    /** Fixed capacity of the memory-location array (Section 4.1). */
+    std::size_t arrayCapacity = 100000;
+
+    /** AVL node count that triggers a lazy merge pass (Section 4.4). */
+    std::size_t mergeThreshold = 500;
+
+    /** @name Rule toggles (all rules on by default). */
+    /** @{ */
+    bool detectNoDurability = true;
+    /** Auto-restricted to the strict model regardless of this flag. */
+    bool detectMultipleOverwrite = true;
+    bool detectNoOrderGuarantee = true;
+    bool detectRedundantFlush = true;
+    bool detectFlushNothing = true;
+    bool detectRedundantLogging = true;
+    bool detectLackDurabilityInEpoch = true;
+    bool detectRedundantEpochFence = true;
+    bool detectLackOrderingInStrands = true;
+    /** @} */
+
+    /** Persist-order constraints (for the two ordering rules). */
+    OrderSpec orderSpec;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_CONFIG_HH

@@ -1,0 +1,25 @@
+#include "core/cross_failure.hh"
+
+namespace pmdb
+{
+
+bool
+CrossFailureChecker::check(PmDebugger &debugger, const PmemDevice &device,
+                           const Verifier &verify, CrashPolicy policy,
+                           SeqNum seq)
+{
+    CrashSimulator sim(device);
+    std::vector<std::uint8_t> image = sim.crashImage(policy);
+    const std::string inconsistency = verify(image);
+    if (inconsistency.empty())
+        return false;
+
+    BugReport report;
+    report.type = BugType::CrossFailureSemantic;
+    report.seq = seq;
+    report.detail = inconsistency;
+    debugger.reportBug(report);
+    return true;
+}
+
+} // namespace pmdb

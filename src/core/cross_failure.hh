@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cross-failure semantic bug checking (Section 7.3).
+ *
+ * A cross-failure semantic bug means the program reads semantically
+ * inconsistent data during post-failure execution. Valgrind-style
+ * instrumentation cannot pause/resume the program at failure points,
+ * so — exactly as the paper does — the recovery program is invoked
+ * explicitly: CrossFailureChecker materializes the crash image the
+ * device would leave behind and runs a workload-supplied recovery
+ * verifier over it. Any reported inconsistency is funnelled into the
+ * debugger's bug collector as a CrossFailureSemantic bug.
+ */
+
+#ifndef PMDB_CORE_CROSS_FAILURE_HH
+#define PMDB_CORE_CROSS_FAILURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/debugger.hh"
+#include "pmem/device.hh"
+
+namespace pmdb
+{
+
+/** Runs recovery verifiers against simulated crash images. */
+class CrossFailureChecker
+{
+  public:
+    /**
+     * A recovery verifier inspects a crash image (a full copy of the
+     * device's address space as a crash would leave it) and returns an
+     * empty string if the recovered state is consistent, or a
+     * description of the semantic inconsistency otherwise.
+     */
+    using Verifier =
+        std::function<std::string(const std::vector<std::uint8_t> &image)>;
+
+    /**
+     * Materialize @p device's crash image under @p policy and run
+     * @p verify over it. On inconsistency, report a
+     * CrossFailureSemantic bug through @p debugger. Returns true if a
+     * bug was found.
+     */
+    static bool check(PmDebugger &debugger, const PmemDevice &device,
+                      const Verifier &verify,
+                      CrashPolicy policy = CrashPolicy::DropPending,
+                      SeqNum seq = 0);
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_CROSS_FAILURE_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * PMDebugger: the paper's fast, flexible, comprehensive PM bug
+ * detector (Section 4).
+ *
+ * PmDebugger consumes the instrumented event stream and maintains a
+ * hierarchical bookkeeping space per strand: a fixed-size
+ * memory-location array with CLF-interval metadata for the current
+ * fence interval, and an AVL tree for locations whose durability is
+ * not guaranteed in the short term. Detection rules observe the
+ * processed stream through hooks (Sections 4.5, 5.2).
+ *
+ * Event processing follows the paper exactly:
+ *  - store  (§4.2): append to the array (or the tree on overflow) and
+ *    extend the current CLF interval's metadata;
+ *  - CLF    (§4.3): collective metadata update where the CLF covers an
+ *    interval's bounds; record-level scan and split otherwise; then the
+ *    tree; then a new CLF interval begins;
+ *  - fence  (§4.4): prune the tree first, then collectively invalidate
+ *    all-flushed intervals and re-distribute survivors into the tree,
+ *    merging tree nodes lazily past the threshold.
+ */
+
+#ifndef PMDB_CORE_DEBUGGER_HH
+#define PMDB_CORE_DEBUGGER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bug.hh"
+#include "core/config.hh"
+#include "core/mem_array.hh"
+#include "core/rules.hh"
+#include "core/stats.hh"
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** The PMDebugger detector. */
+class PmDebugger : public TraceSink, public DebugContext
+{
+  public:
+    explicit PmDebugger(DebuggerConfig config = {});
+    ~PmDebugger();
+
+    PmDebugger(const PmDebugger &) = delete;
+    PmDebugger &operator=(const PmDebugger &) = delete;
+
+    /** TraceSink: process one instrumented event. */
+    void handle(const Event &event) override;
+    void attached(const NameTable &names) override;
+
+    /**
+     * Register a user-supplied detection rule — the flexibility API:
+     * rules plug into the same hooks as the built-in nine.
+     */
+    void addRule(std::unique_ptr<Rule> rule);
+
+    /** Run finalize rules (also triggered by a ProgramEnd event). */
+    void finalize();
+
+    const BugCollector &bugs() const { return bugs_; }
+
+    /**
+     * Funnel an externally detected bug (e.g. a cross-failure semantic
+     * inconsistency found by CrossFailureChecker) into this debugger's
+     * report.
+     */
+    void reportBug(const BugReport &report) { bugs_.report(report); }
+
+    /** Aggregated statistics across all bookkeeping spaces. */
+    DebuggerStats stats() const;
+
+    const DebuggerConfig &configuration() const { return config_; }
+
+    /** @name DebugContext (rule query interface). */
+    /** @{ */
+    BugCollector &bugs() override { return bugs_; }
+    const DebuggerConfig &config() const override { return config_; }
+    bool liveOverlaps(const AddrRange &range) const override;
+    void forEachLiveInSpace(const LiveVisitor &visit) const override;
+    void forEachLiveAll(const LiveVisitor &visit) const override;
+    int epochFenceCount() const override { return epochFences_; }
+    const OrderTracker &orders() const override { return orderTracker_; }
+    const std::vector<int> &newlyDurableVars() const override
+    {
+        return newlyDurable_;
+    }
+    bool strandsActive() const override { return strandsActive_; }
+    /** @} */
+
+    /** Number of live AVL nodes across all spaces (Fig 11 probing). */
+    std::size_t treeNodeCount() const;
+
+  private:
+    /** One bookkeeping space: per-strand in the strand model (§5.1). */
+    struct Space
+    {
+        Space(std::size_t array_capacity, std::size_t merge_threshold)
+            : array(array_capacity),
+              tree(MergePolicy::Lazy, merge_threshold)
+        {
+        }
+
+        MemoryLocationArray array;
+        AvlTree tree;
+    };
+
+    Space &spaceFor(StrandId strand);
+    const Space &currentSpace() const;
+    void indexRule(Rule *rule);
+
+    void processStore(const Event &event);
+    void processFlush(const Event &event);
+    void processFence(const Event &event);
+    void processEpochBegin(const Event &event);
+    void processEpochEnd(const Event &event);
+    void processRegister(const Event &event);
+    void fenceSpace(Space &space);
+    void forEachLiveOf(const Space &space, const LiveVisitor &visit) const;
+
+    DebuggerConfig config_;
+    std::unique_ptr<Space> mainSpace_;
+    std::map<StrandId, std::unique_ptr<Space>> strandSpaces_;
+    Space *current_ = nullptr;
+
+    std::vector<std::unique_ptr<Rule>> rules_;
+    /** Per-hook dispatch lists built from each rule's hooks() mask. */
+    std::vector<Rule *> storeRules_;
+    std::vector<Rule *> flushRules_;
+    std::vector<Rule *> fenceRules_;
+    std::vector<Rule *> epochBeginRules_;
+    std::vector<Rule *> epochEndRules_;
+    std::vector<Rule *> txLogRules_;
+    std::vector<Rule *> finalizeRules_;
+    BugCollector bugs_;
+    DebuggerStats base_;
+    OrderTracker orderTracker_;
+    std::vector<int> newlyDurable_;
+
+    const NameTable *names_ = nullptr;
+    std::unordered_map<std::string, AddrRange> registered_;
+
+    int epochDepth_ = 0;
+    int epochFences_ = 0;
+    bool strandsActive_ = false;
+    bool finalized_ = false;
+    SeqNum lastSeq_ = 0;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_DEBUGGER_HH

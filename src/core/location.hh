@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The unit of bookkeeping: one tracked memory-location record.
+ *
+ * Each record is the information PMDebugger collects from one store
+ * instruction (Section 4.1): the location's address range, its flushing
+ * state, and — for the epoch-model extension (Section 5.1) — whether
+ * the store came from inside an epoch section.
+ */
+
+#ifndef PMDB_CORE_LOCATION_HH
+#define PMDB_CORE_LOCATION_HH
+
+#include "common/types.hh"
+
+namespace pmdb
+{
+
+/** Flushing state of one tracked memory location. */
+enum class FlushState : std::uint8_t
+{
+    /** Updated by a store, no CLF has covered it yet. */
+    NotFlushed,
+    /** A CLF covered it; durability pending the next fence. */
+    Flushed,
+};
+
+/** Information collected from one store instruction (Figure 5, left). */
+struct LocationRecord
+{
+    /** Updated PM byte range. */
+    AddrRange range;
+    /** Whether a CLF has covered this location since the store. */
+    FlushState state = FlushState::NotFlushed;
+    /** Store came from inside an epoch section (Section 5.1 extension). */
+    bool inEpoch = false;
+    /** Sequence number of the originating store. */
+    SeqNum storeSeq = 0;
+
+    LocationRecord() = default;
+    LocationRecord(AddrRange r, FlushState s, bool epoch, SeqNum seq)
+        : range(r), state(s), inEpoch(epoch), storeSeq(seq)
+    {
+    }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_LOCATION_HH

@@ -1,0 +1,215 @@
+#include "core/mem_array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pmdb
+{
+
+MemoryLocationArray::MemoryLocationArray(std::size_t capacity)
+    : capacity_(capacity)
+{
+    records_.resize(capacity);
+}
+
+bool
+MemoryLocationArray::append(const LocationRecord &record)
+{
+    if (full())
+        return false;
+
+    if (!intervalOpen_) {
+        ClfIntervalMeta meta;
+        meta.startIdx = size_;
+        meta.endIdx = size_;
+        intervals_.push_back(meta);
+        intervalOpen_ = true;
+    }
+
+    records_[size_] = record;
+    ++size_;
+    stats_.maxUsage = std::max(stats_.maxUsage, size_);
+
+    ClfIntervalMeta &meta = intervals_.back();
+    meta.endIdx = size_;
+    meta.bounds = meta.bounds.unionWith(record.range);
+    return true;
+}
+
+FlushState
+MemoryLocationArray::effectiveState(std::uint32_t idx,
+                                    const ClfIntervalMeta &meta) const
+{
+    if (meta.state == IntervalFlushState::AllFlushed)
+        return FlushState::Flushed;
+    return records_[idx].state;
+}
+
+FlushOutcome
+MemoryLocationArray::applyFlush(const AddrRange &range, AvlTree &tree)
+{
+    FlushOutcome outcome;
+
+    for (ClfIntervalMeta &meta : intervals_) {
+        if (meta.empty() || !range.overlaps(meta.bounds))
+            continue;
+
+        if (meta.state == IntervalFlushState::AllFlushed) {
+            // Everything the CLF touches here is already flushed: pure
+            // redundancy, established in O(1) from the metadata alone.
+            outcome.hitAny = true;
+            outcome.hitFlushed = true;
+            continue;
+        }
+
+        if (meta.state == IntervalFlushState::NotFlushed &&
+            range.contains(meta.bounds)) {
+            // Collective writeback (Pattern 2): one metadata update
+            // covers every record of the interval; no record is
+            // visited.
+            meta.state = IntervalFlushState::AllFlushed;
+            outcome.hitAny = true;
+            outcome.hitUnflushed = true;
+            continue;
+        }
+
+        // Dispersed or repeated writeback: examine the interval's
+        // records individually (§4.3).
+        bool all_flushed = true;
+        for (std::uint32_t i = meta.startIdx; i < meta.endIdx; ++i) {
+            LocationRecord &rec = records_[i];
+            if (!rec.range.overlaps(range)) {
+                if (rec.state != FlushState::Flushed)
+                    all_flushed = false;
+                continue;
+            }
+            outcome.hitAny = true;
+            if (rec.state == FlushState::Flushed) {
+                outcome.hitFlushed = true;
+                continue;
+            }
+            outcome.hitUnflushed = true;
+            if (range.contains(rec.range)) {
+                rec.state = FlushState::Flushed;
+                continue;
+            }
+            // Partial overlap: the covered sub-range stays in the
+            // array; uncovered pieces go to the AVL tree (§4.3 — they
+            // cannot be appended without breaking the interval's
+            // index span).
+            const AddrRange covered = rec.range.intersect(range);
+            if (rec.range.start < covered.start) {
+                LocationRecord head = rec;
+                head.range = AddrRange(rec.range.start, covered.start);
+                tree.insert(head);
+                all_flushed = false;
+            }
+            if (covered.end < rec.range.end) {
+                LocationRecord tail = rec;
+                tail.range = AddrRange(covered.end, rec.range.end);
+                tree.insert(tail);
+                all_flushed = false;
+            }
+            rec.range = covered;
+            rec.state = FlushState::Flushed;
+        }
+        meta.state = all_flushed ? IntervalFlushState::AllFlushed
+                                 : IntervalFlushState::PartiallyFlushed;
+    }
+
+    // The CLF ends the current interval: the next store opens a new one.
+    intervalOpen_ = false;
+    return outcome;
+}
+
+void
+MemoryLocationArray::processFence(AvlTree &tree)
+{
+    for (const ClfIntervalMeta &meta : intervals_) {
+        if (meta.empty())
+            continue;
+        if (meta.state == IntervalFlushState::AllFlushed) {
+            // Collective invalidation (Pattern 1): durability of every
+            // record is guaranteed by this fence; the records die
+            // without being visited.
+            ++stats_.collectiveInvalidations;
+            stats_.recordsCollectivelyFreed += meta.endIdx - meta.startIdx;
+            continue;
+        }
+        for (std::uint32_t i = meta.startIdx; i < meta.endIdx; ++i) {
+            const LocationRecord &rec = records_[i];
+            if (rec.state == FlushState::Flushed) {
+                ++stats_.recordsDroppedIndividually;
+            } else {
+                tree.insert(rec);
+                ++stats_.recordsMovedToTree;
+            }
+        }
+    }
+    // Invalidate the metadata; the array storage itself is reused.
+    intervals_.clear();
+    size_ = 0;
+    intervalOpen_ = false;
+}
+
+void
+MemoryLocationArray::compactSurvivors()
+{
+    std::vector<LocationRecord> survivors;
+    for (const ClfIntervalMeta &meta : intervals_) {
+        if (meta.state == IntervalFlushState::AllFlushed) {
+            ++stats_.collectiveInvalidations;
+            stats_.recordsCollectivelyFreed += meta.endIdx - meta.startIdx;
+            continue;
+        }
+        for (std::uint32_t i = meta.startIdx; i < meta.endIdx; ++i) {
+            if (records_[i].state == FlushState::Flushed)
+                ++stats_.recordsDroppedIndividually;
+            else
+                survivors.push_back(records_[i]);
+        }
+    }
+    intervals_.clear();
+    size_ = 0;
+    intervalOpen_ = false;
+    for (const LocationRecord &rec : survivors)
+        append(rec);
+    // The survivors form one synthetic interval; close it so the next
+    // store opens a fresh one.
+    intervalOpen_ = false;
+}
+
+bool
+MemoryLocationArray::overlapsAny(const AddrRange &range) const
+{
+    for (const ClfIntervalMeta &meta : intervals_) {
+        if (meta.empty() || !range.overlaps(meta.bounds))
+            continue;
+        for (std::uint32_t i = meta.startIdx; i < meta.endIdx; ++i) {
+            if (records_[i].range.overlaps(range))
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryLocationArray::forEachLive(
+    const std::function<void(const LocationRecord &, FlushState)> &visit)
+    const
+{
+    for (const ClfIntervalMeta &meta : intervals_) {
+        for (std::uint32_t i = meta.startIdx; i < meta.endIdx; ++i)
+            visit(records_[i], effectiveState(i, meta));
+    }
+}
+
+void
+MemoryLocationArray::clearEpochFlags()
+{
+    for (std::uint32_t i = 0; i < size_; ++i)
+        records_[i].inEpoch = false;
+}
+
+} // namespace pmdb

@@ -1,0 +1,56 @@
+#include "core/order_spec.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pmdb
+{
+
+bool
+OrderSpec::parse(const std::string &text, std::string *error)
+{
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream words(line);
+        std::string directive;
+        if (!(words >> directive))
+            continue; // blank/comment line
+        if (directive == "persist_before") {
+            std::string first, second;
+            if (!(words >> first >> second)) {
+                if (error) {
+                    *error = "line " + std::to_string(line_no) +
+                             ": persist_before needs two variable names";
+                }
+                return false;
+            }
+            add(first, second);
+        } else {
+            if (error) {
+                *error = "line " + std::to_string(line_no) +
+                         ": unknown directive '" + directive + "'";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+OrderSpec
+OrderSpec::fromText(const std::string &text)
+{
+    OrderSpec spec;
+    std::string error;
+    if (!spec.parse(text, &error))
+        fatal("OrderSpec: " + error);
+    return spec;
+}
+
+} // namespace pmdb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Programmer-supplied persist-order specification (Sections 4.5, 8).
+ *
+ * To detect "no order guarantee" bugs the programmer states, once, in a
+ * debugger configuration file, which variable must be persisted before
+ * which. Variables are program symbols resolved at runtime through
+ * Register_pmem events. Grammar (one directive per line, '#' comments):
+ *
+ *     persist_before <firstVar> <secondVar>
+ *
+ * meaning: <firstVar> must be durable strictly before <secondVar>.
+ */
+
+#ifndef PMDB_CORE_ORDER_SPEC_HH
+#define PMDB_CORE_ORDER_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmdb
+{
+
+/** One ordering constraint: first must persist before second. */
+struct OrderConstraint
+{
+    std::string firstVar;
+    std::string secondVar;
+};
+
+/** Parsed order-specification configuration. */
+class OrderSpec
+{
+  public:
+    OrderSpec() = default;
+
+    /**
+     * Parse directives from @p text. Returns false (and fills
+     * @p error) on malformed input.
+     */
+    bool parse(const std::string &text, std::string *error = nullptr);
+
+    /** Convenience: parse, aborting via fatal() on error. */
+    static OrderSpec fromText(const std::string &text);
+
+    void
+    add(const std::string &first, const std::string &second)
+    {
+        constraints_.push_back({first, second});
+    }
+
+    const std::vector<OrderConstraint> &constraints() const
+    {
+        return constraints_;
+    }
+
+    bool empty() const { return constraints_.empty(); }
+
+  private:
+    std::vector<OrderConstraint> constraints_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_ORDER_SPEC_HH

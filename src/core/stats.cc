@@ -1,0 +1,30 @@
+#include "core/stats.hh"
+
+#include <sstream>
+
+namespace pmdb
+{
+
+std::string
+DebuggerStats::toString() const
+{
+    std::ostringstream out;
+    out << "stores=" << stores << " flushes=" << flushes
+        << " fences=" << fences << " epochs=" << epochs
+        << "\navg tree nodes/fence interval="
+        << avgTreeNodesPerFenceInterval()
+        << "\ntree: insertions=" << tree.insertions
+        << " removals=" << tree.removals
+        << " reorganizations=" << tree.reorganizations
+        << " merges=" << tree.merges
+        << "\narray: collective invalidations="
+        << array.collectiveInvalidations
+        << " records collectively freed=" << array.recordsCollectivelyFreed
+        << " moved to tree=" << array.recordsMovedToTree
+        << " dropped individually=" << array.recordsDroppedIndividually
+        << " overflow stores=" << array.overflowStores
+        << " max usage=" << array.maxUsage;
+    return out.str();
+}
+
+} // namespace pmdb

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aggregate debugger statistics: event counts, bookkeeping work, and
+ * the per-fence-interval tree-size sampling behind Figure 11 and the
+ * reorganization comparison of Section 7.5.
+ */
+
+#ifndef PMDB_CORE_STATS_HH
+#define PMDB_CORE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/avl_tree.hh"
+#include "core/mem_array.hh"
+
+namespace pmdb
+{
+
+/** Statistics reported by PmDebugger (and the baseline models). */
+struct DebuggerStats
+{
+    std::uint64_t stores = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t epochs = 0;
+
+    /** Sum of AVL node counts sampled at each fence (Figure 11). */
+    std::uint64_t treeNodeSampleSum = 0;
+    /** Number of fence samples taken. */
+    std::uint64_t treeNodeSamples = 0;
+
+    /** Aggregated tree-maintenance counters across spaces. */
+    TreeStats tree;
+    /** Aggregated array counters across spaces. */
+    ArrayStats array;
+
+    /** Average tree nodes per fence interval (Figure 11's metric). */
+    double
+    avgTreeNodesPerFenceInterval() const
+    {
+        if (!treeNodeSamples)
+            return 0.0;
+        return static_cast<double>(treeNodeSampleSum) /
+               static_cast<double>(treeNodeSamples);
+    }
+
+    std::string toString() const;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_CORE_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Common interface for all bug detectors in the comparison harness.
+ *
+ * The paper evaluates PMDebugger against Pmemcheck (industry-quality),
+ * PMTest (annotation-based, performance-optimized) and XFDetector
+ * (cross-failure testing). Each is modelled here as a TraceSink with a
+ * uniform reporting interface so that the Table 6 detection matrix and
+ * the Fig 8/10 performance comparisons drive every tool through the
+ * identical instrumented stream.
+ */
+
+#ifndef PMDB_DETECTORS_DETECTOR_HH
+#define PMDB_DETECTORS_DETECTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/bug.hh"
+#include "core/stats.hh"
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** A crash-consistency bug detector consuming the instrumented stream. */
+class Detector : public TraceSink
+{
+  public:
+    /** Stable tool name ("pmdebugger", "pmemcheck", ...). */
+    virtual const char *detectorName() const = 0;
+
+    /** Bugs found so far. */
+    virtual const BugCollector &bugs() const = 0;
+
+    /** Run end-of-program checks (idempotent). */
+    virtual void finalize() = 0;
+
+    /** Bookkeeping statistics, where the model tracks them. */
+    virtual DebuggerStats stats() const { return {}; }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_DETECTORS_DETECTOR_HH

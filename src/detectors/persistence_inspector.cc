@@ -1,0 +1,126 @@
+#include "detectors/persistence_inspector.hh"
+
+namespace pmdb
+{
+
+void
+PersistenceInspector::handle(const Event &event)
+{
+    switch (event.kind) {
+      case EventKind::Store:
+        ++base_.stores;
+        break;
+      case EventKind::Flush:
+        ++base_.flushes;
+        break;
+      case EventKind::Fence:
+        ++base_.fences;
+        break;
+      case EventKind::ProgramEnd:
+        trace_.push_back(event);
+        finalize();
+        return;
+      default:
+        break;
+    }
+    trace_.push_back(event);
+}
+
+void
+PersistenceInspector::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    analyze();
+}
+
+void
+PersistenceInspector::analyze()
+{
+    // Post-mortem pass 1: durability and flush-redundancy analysis
+    // over the collected trace (tree-based, like pmemcheck's online
+    // tracking, but run after the fact).
+    AvlTree tree(MergePolicy::Eager);
+    int epoch_depth = 0;
+    std::vector<AddrRange> logged_this_tx;
+    SeqNum last_seq = 0;
+
+    for (const Event &event : trace_) {
+        last_seq = event.seq;
+        switch (event.kind) {
+          case EventKind::Store:
+            tree.insert(LocationRecord(event.range(),
+                                       FlushState::NotFlushed, false,
+                                       event.seq));
+            break;
+          case EventKind::Flush: {
+            const AvlTree::FlushOutcome outcome =
+                tree.applyFlush(event.range());
+            if (outcome.hitAny && !outcome.hitUnflushed) {
+                BugReport report;
+                report.type = BugType::RedundantFlush;
+                report.range = event.range();
+                report.seq = event.seq;
+                report.detail = "excessive flush of clean data";
+                bugs_.report(report);
+            }
+            break;
+          }
+          case EventKind::Fence:
+          case EventKind::JoinStrand:
+            tree.removeFlushed(nullptr);
+            break;
+          case EventKind::EpochBegin:
+            ++epoch_depth;
+            break;
+          case EventKind::EpochEnd:
+            if (epoch_depth > 0)
+                --epoch_depth;
+            logged_this_tx.clear();
+            break;
+          case EventKind::TxLog: {
+            const AddrRange range = event.range();
+            for (const AddrRange &logged : logged_this_tx) {
+                if (logged.overlaps(range)) {
+                    BugReport report;
+                    report.type = BugType::RedundantLogging;
+                    report.range = range;
+                    report.seq = event.seq;
+                    report.detail = "excessive logging within one "
+                                    "transaction";
+                    bugs_.report(report);
+                    break;
+                }
+            }
+            logged_this_tx.push_back(range);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Pass 2: whatever survives the trace was never made durable.
+    tree.forEach([&](const LocationRecord &rec) {
+        BugReport report;
+        report.type = BugType::NoDurability;
+        report.range = rec.range;
+        report.seq = last_seq;
+        report.cause = rec.state == FlushState::Flushed
+                           ? DurabilityCause::MissingFence
+                           : DurabilityCause::MissingFlush;
+        report.detail = rec.state == FlushState::Flushed
+                            ? "flushed but never fenced"
+                            : "never flushed";
+        bugs_.report(report);
+    });
+}
+
+DebuggerStats
+PersistenceInspector::stats() const
+{
+    return base_;
+}
+
+} // namespace pmdb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Behavioural model of Intel's Persistence Inspector (Table 1's
+ * "Persist. Ins." row).
+ *
+ * Persistence Inspector is a *post-mortem* tool: a collection phase
+ * records every PM access to an on-disk log, and a separate analysis
+ * phase reasons about durability and ordering afterwards. That design
+ * gives it high overhead (Table 1: "high") and a PMDK-oriented bug
+ * surface comparable to pmemcheck's: missing flushes/fences
+ * (no-durability), excessive flushes (redundant-flush) and excessive
+ * logging within transactions (redundant-logging).
+ *
+ * The model buffers the whole trace during collection (the memory/IO
+ * cost that dominates the real tool) and runs its passes at finalize.
+ * The paper lists the tool in Table 1 but does not include it in the
+ * Table 6 evaluation; it is provided here for completeness of the
+ * tool landscape and as a second post-mortem consumer of the trace
+ * substrate.
+ */
+
+#ifndef PMDB_DETECTORS_PERSISTENCE_INSPECTOR_HH
+#define PMDB_DETECTORS_PERSISTENCE_INSPECTOR_HH
+
+#include <vector>
+
+#include "core/avl_tree.hh"
+#include "core/bug.hh"
+#include "core/stats.hh"
+#include "detectors/detector.hh"
+
+namespace pmdb
+{
+
+/** The Persistence Inspector baseline detector. */
+class PersistenceInspector : public Detector
+{
+  public:
+    PersistenceInspector() = default;
+
+    const char *detectorName() const override
+    {
+        return "persistence_inspector";
+    }
+
+    bool isDbiBased() const override { return true; }
+
+    /** Collection phase: buffer everything. */
+    void handle(const Event &event) override;
+
+    const BugCollector &bugs() const override { return bugs_; }
+
+    /** Analysis phase: replay the buffered trace through the rules. */
+    void finalize() override;
+
+    DebuggerStats stats() const override;
+
+    /** Size of the collected trace (the post-mortem cost driver). */
+    std::size_t collectedEvents() const { return trace_.size(); }
+
+  private:
+    void analyze();
+
+    std::vector<Event> trace_;
+    BugCollector bugs_;
+    DebuggerStats base_;
+    bool finalized_ = false;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_DETECTORS_PERSISTENCE_INSPECTOR_HH

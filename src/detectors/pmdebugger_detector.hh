@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Detector-interface adapter for PmDebugger, so the comparison
+ * harnesses can drive it uniformly alongside the baseline models.
+ */
+
+#ifndef PMDB_DETECTORS_PMDEBUGGER_DETECTOR_HH
+#define PMDB_DETECTORS_PMDEBUGGER_DETECTOR_HH
+
+#include "core/debugger.hh"
+#include "detectors/detector.hh"
+
+namespace pmdb
+{
+
+/** PMDebugger behind the uniform Detector interface. */
+class PmDebuggerDetector : public Detector
+{
+  public:
+    explicit PmDebuggerDetector(DebuggerConfig config = {})
+        : impl_(std::move(config))
+    {
+    }
+
+    const char *detectorName() const override { return "pmdebugger"; }
+
+    bool isDbiBased() const override { return true; }
+
+    void attached(const NameTable &names) override
+    {
+        impl_.attached(names);
+    }
+
+    void handle(const Event &event) override { impl_.handle(event); }
+
+    const BugCollector &bugs() const override { return impl_.bugs(); }
+
+    void finalize() override { impl_.finalize(); }
+
+    DebuggerStats stats() const override { return impl_.stats(); }
+
+    /** Access the underlying debugger (custom rules, cross-failure). */
+    PmDebugger &debugger() { return impl_; }
+    const PmDebugger &debugger() const { return impl_; }
+
+  private:
+    PmDebugger impl_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_DETECTORS_PMDEBUGGER_DETECTOR_HH

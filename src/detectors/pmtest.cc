@@ -1,0 +1,245 @@
+#include "detectors/pmtest.hh"
+
+#include <algorithm>
+
+namespace pmdb
+{
+
+void
+PmTestDetector::handle(const Event &event)
+{
+    lastSeq_ = event.seq;
+    switch (event.kind) {
+      case EventKind::Store:
+        ++base_.stores;
+        break;
+      case EventKind::Flush:
+        ++base_.flushes;
+        break;
+      case EventKind::Fence:
+        ++base_.fences;
+        break;
+      case EventKind::ProgramEnd:
+        finalize();
+        return;
+      default:
+        return;
+    }
+
+    // The defining property of PMTest: operations outside annotated
+    // regions are not tracked at all.
+    if (!inRegion_)
+        return;
+
+    if (event.kind == EventKind::Flush) {
+        // Redundant flush: a prior CLF covered this range and no store
+        // has touched it since.
+        const AddrRange range = event.range();
+        for (std::size_t i = ops_.size(); i-- > 0;) {
+            const Op &op = ops_[i];
+            if (op.kind == EventKind::Store && op.range.overlaps(range))
+                break;
+            if (op.kind == EventKind::Flush && op.range.overlaps(range)) {
+                BugReport report;
+                report.type = BugType::RedundantFlush;
+                report.range = range;
+                report.seq = event.seq;
+                report.detail =
+                    "region flushed again with no intervening store";
+                bugs_.report(report);
+                break;
+            }
+        }
+    }
+
+    if (event.kind == EventKind::Store && overwriteChecks_) {
+        // Overwrite of data whose durability was never established
+        // (evaluated before this store enters the log).
+        const AddrRange range = event.range();
+        for (std::size_t i = ops_.size(); i-- > 0;) {
+            const Op &op = ops_[i];
+            if (op.kind != EventKind::Store || !op.range.overlaps(range))
+                continue;
+            if (durableFenceIndex(op.range, ops_.size()) < 0) {
+                BugReport report;
+                report.type = BugType::MultipleOverwrite;
+                report.range = range;
+                report.seq = event.seq;
+                report.detail = "overwrite before durability (annotated "
+                                "region)";
+                bugs_.report(report);
+            }
+            break;
+        }
+    }
+
+    ops_.push_back({event.kind, event.range(), event.seq});
+}
+
+void
+PmTestDetector::pmTestStart()
+{
+    inRegion_ = true;
+    ops_.clear();
+    loggedObjects_.clear();
+}
+
+void
+PmTestDetector::pmTestEnd()
+{
+    inRegion_ = false;
+    ops_.clear();
+}
+
+long
+PmTestDetector::durableFenceIndex(const AddrRange &range,
+                                  std::size_t end_idx) const
+{
+    end_idx = std::min(end_idx, ops_.size());
+
+    // Locate the last store overlapping the range, counting fence
+    // ordinals along the way so different calls share one timeline.
+    std::size_t store_idx = end_idx;
+    for (std::size_t i = end_idx; i-- > 0;) {
+        if (ops_[i].kind == EventKind::Store &&
+            ops_[i].range.overlaps(range)) {
+            store_idx = i;
+            break;
+        }
+    }
+    if (store_idx == end_idx)
+        return -1;
+
+    long fence_ordinal = 0;
+    for (std::size_t i = 0; i < store_idx; ++i) {
+        if (ops_[i].kind == EventKind::Fence)
+            ++fence_ordinal;
+    }
+
+    // Accumulate flush coverage after the store; durability is reached
+    // at the first fence following complete coverage.
+    std::vector<AddrRange> covered;
+    auto is_covered = [&]() {
+        std::sort(covered.begin(), covered.end(),
+                  [](const AddrRange &a, const AddrRange &b) {
+                      return a.start < b.start;
+                  });
+        AddrRange merged;
+        bool first = true;
+        for (const AddrRange &p : covered) {
+            if (first) {
+                merged = p;
+                first = false;
+            } else if (merged.adjacentOrOverlapping(p)) {
+                merged = merged.unionWith(p);
+            } else {
+                merged = p;
+            }
+            if (merged.contains(range))
+                return true;
+        }
+        return !first && merged.contains(range);
+    };
+
+    bool coverage_complete = false;
+    for (std::size_t i = store_idx + 1; i < end_idx; ++i) {
+        const Op &op = ops_[i];
+        if (op.kind == EventKind::Flush) {
+            const AddrRange part = op.range.intersect(range);
+            if (!part.empty()) {
+                covered.push_back(part);
+                coverage_complete = is_covered();
+            }
+        } else if (op.kind == EventKind::Fence) {
+            ++fence_ordinal;
+            if (coverage_complete)
+                return fence_ordinal;
+        } else if (op.kind == EventKind::Store &&
+                   op.range.overlaps(range)) {
+            // Overwritten again: restart coverage from here.
+            covered.clear();
+            coverage_complete = false;
+        }
+    }
+    return -1;
+}
+
+bool
+PmTestDetector::isPersist(Addr addr, std::size_t size)
+{
+    if (!inRegion_)
+        return true;
+    const AddrRange range = AddrRange::fromSize(addr, size);
+
+    bool has_store = false;
+    bool has_flush = false;
+    for (const Op &op : ops_) {
+        if (op.kind == EventKind::Store && op.range.overlaps(range))
+            has_store = true;
+        if (op.kind == EventKind::Flush && op.range.overlaps(range))
+            has_flush = true;
+    }
+    if (!has_store)
+        return true; // the store happened outside the annotated region
+
+    if (durableFenceIndex(range, ops_.size()) >= 0)
+        return true;
+
+    BugReport report;
+    report.type = BugType::NoDurability;
+    report.range = range;
+    report.seq = lastSeq_;
+    report.cause = has_flush ? DurabilityCause::MissingFence
+                             : DurabilityCause::MissingFlush;
+    report.detail = "isPersist assertion failed";
+    bugs_.report(report);
+    return false;
+}
+
+bool
+PmTestDetector::isOrderedBefore(Addr first_addr, std::size_t first_size,
+                                Addr second_addr, std::size_t second_size)
+{
+    if (!inRegion_)
+        return true;
+    const AddrRange first = AddrRange::fromSize(first_addr, first_size);
+    const AddrRange second = AddrRange::fromSize(second_addr, second_size);
+
+    const long first_durable = durableFenceIndex(first, ops_.size());
+    const long second_durable = durableFenceIndex(second, ops_.size());
+
+    const bool ok =
+        first_durable >= 0 &&
+        (second_durable < 0 || first_durable < second_durable);
+    if (!ok) {
+        BugReport report;
+        report.type = BugType::NoOrderGuarantee;
+        report.range = second;
+        report.seq = lastSeq_;
+        report.detail = "isOrderedBefore assertion failed";
+        bugs_.report(report);
+    }
+    return ok;
+}
+
+void
+PmTestDetector::txChecker(Addr addr, std::size_t size)
+{
+    if (!inRegion_)
+        return;
+    const AddrRange range = AddrRange::fromSize(addr, size);
+    for (const AddrRange &logged : loggedObjects_) {
+        if (logged.overlaps(range)) {
+            BugReport report;
+            report.type = BugType::RedundantLogging;
+            report.range = range;
+            report.seq = lastSeq_;
+            report.detail = "TX checker: object logged more than once";
+            bugs_.report(report);
+            break;
+        }
+    }
+    loggedObjects_.push_back(range);
+}
+
+} // namespace pmdb

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Factory for detectors by tool name, used by benches and examples
+ * ("./run.sh <CHECKER> ..." in the paper's artifact maps to this).
+ */
+
+#ifndef PMDB_DETECTORS_REGISTRY_HH
+#define PMDB_DETECTORS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "detectors/detector.hh"
+
+namespace pmdb
+{
+
+/** A no-bookkeeping detector: the Nulgrind instrumentation baseline. */
+class NulgrindDetector : public Detector
+{
+  public:
+    const char *detectorName() const override { return "nulgrind"; }
+
+    bool isDbiBased() const override { return true; }
+
+    void
+    handle(const Event &event) override
+    {
+        (void)event;
+        ++eventCount_;
+    }
+
+    const BugCollector &bugs() const override { return bugs_; }
+
+    void finalize() override {}
+
+    std::uint64_t eventCount() const { return eventCount_; }
+
+  private:
+    BugCollector bugs_;
+    std::uint64_t eventCount_ = 0;
+};
+
+/** Names of all detectors the registry can build. */
+std::vector<std::string> detectorNames();
+
+/**
+ * Build a detector by name: "pmdebugger", "pmemcheck", "pmtest",
+ * "xfdetector" or "nulgrind". The debugger config parameterizes
+ * PMDebugger (model, order spec, ...); the order spec is also passed
+ * to XFDetector. Returns nullptr for unknown names.
+ */
+std::unique_ptr<Detector> makeDetector(const std::string &name,
+                                       const DebuggerConfig &config = {});
+
+} // namespace pmdb
+
+#endif // PMDB_DETECTORS_REGISTRY_HH

@@ -1,0 +1,236 @@
+#include "detectors/xfdetector.hh"
+
+namespace pmdb
+{
+
+XfDetector::XfDetector(XfDetectorConfig config)
+    : config_(std::move(config)), tree_(MergePolicy::Lazy)
+{
+    orderTracker_.configure(config_.orderSpec);
+}
+
+void
+XfDetector::handle(const Event &event)
+{
+    lastSeq_ = event.seq;
+    trace_.push_back(event);
+
+    switch (event.kind) {
+      case EventKind::Store:
+        processStore(event);
+        break;
+      case EventKind::Flush:
+        processFlush(event);
+        break;
+      case EventKind::Fence:
+      case EventKind::JoinStrand:
+        processFence(event);
+        break;
+      case EventKind::EpochBegin:
+        ++epochDepth_;
+        break;
+      case EventKind::EpochEnd:
+        if (epochDepth_ > 0)
+            --epochDepth_;
+        loggedThisEpoch_.clear();
+        break;
+      case EventKind::TxLog: {
+        const AddrRange range = event.range();
+        for (const AddrRange &logged : loggedThisEpoch_) {
+            if (logged.overlaps(range)) {
+                BugReport report;
+                report.type = BugType::RedundantLogging;
+                report.range = range;
+                report.seq = event.seq;
+                report.detail = "object logged twice in one transaction";
+                bugs_.report(report);
+                break;
+            }
+        }
+        loggedThisEpoch_.push_back(range);
+        break;
+      }
+      case EventKind::RegisterPmem:
+        if (names_ && event.nameId != noName) {
+            orderTracker_.onRegister(names_->name(event.nameId),
+                                     event.range());
+        }
+        break;
+      case EventKind::ProgramEnd:
+        finalize();
+        break;
+      default:
+        break;
+    }
+}
+
+void
+XfDetector::processStore(const Event &event)
+{
+    ++base_.stores;
+    orderTracker_.onStore(event);
+    const AddrRange range = event.range();
+
+    if (config_.detectMultipleOverwrite && epochDepth_ == 0 &&
+        tree_.overlapsAny(range)) {
+        BugReport report;
+        report.type = BugType::MultipleOverwrite;
+        report.range = range;
+        report.seq = event.seq;
+        report.detail = "store overwrites data not yet persisted";
+        bugs_.report(report);
+    }
+    tree_.insert(LocationRecord(range, FlushState::NotFlushed, false,
+                                event.seq));
+}
+
+void
+XfDetector::processFlush(const Event &event)
+{
+    ++base_.flushes;
+    orderTracker_.onFlush(event);
+    const AvlTree::FlushOutcome outcome = tree_.applyFlush(event.range());
+    if (outcome.hitAny && !outcome.hitUnflushed) {
+        BugReport report;
+        report.type = BugType::RedundantFlush;
+        report.range = event.range();
+        report.seq = event.seq;
+        report.detail = "region already flushed before the nearest fence";
+        bugs_.report(report);
+    }
+}
+
+void
+XfDetector::processFence(const Event &event)
+{
+    ++base_.fences;
+    ++fenceCount_;
+
+    const std::vector<int> newly_durable = orderTracker_.onFence();
+    for (int second : newly_durable) {
+        for (const auto &[x, y] : orderTracker_.pairs()) {
+            if (y != second)
+                continue;
+            const OrderTracker::Var &first = orderTracker_.var(x);
+            if (!first.stored)
+                continue;
+            const bool ok = first.durable &&
+                            first.durableAtFence <
+                                orderTracker_.fenceIndex();
+            if (!ok) {
+                BugReport report;
+                report.type = BugType::NoOrderGuarantee;
+                report.range = orderTracker_.var(y).range;
+                report.seq = event.seq;
+                report.detail = "'" + orderTracker_.var(y).name +
+                                "' durable before '" + first.name + "'";
+                bugs_.report(report);
+            }
+        }
+    }
+
+    tree_.removeFlushed(nullptr);
+
+    // Failure-point injection: one failure point every fenceStride
+    // fences, up to the instrumented budget. Each point replays the
+    // pre-failure trace — the dominant, superlinear cost that makes
+    // cross-failure testing so slow (Section 7.2).
+    if (fenceCount_ % config_.fenceStride == 0 &&
+        failurePointsRun_ < config_.maxFailurePoints) {
+        runFailurePoint(event);
+    }
+}
+
+void
+XfDetector::runFailurePoint(const Event &event)
+{
+    ++failurePointsRun_;
+
+    // Replay the pre-failure trace over a shadow persistence map —
+    // the dominant cost of cross-failure testing. The shadow state
+    // distinguishes dirty / flush-pending / durable cache lines at the
+    // failure point.
+    std::unordered_map<std::uint64_t, int> shadow; // line -> state
+    std::vector<std::uint64_t> pending;            // lines in state 2
+    for (const Event &e : trace_) {
+        ++replayedOps_;
+        switch (e.kind) {
+          case EventKind::Store: {
+            const AddrRange r = e.range();
+            const std::uint64_t first = cacheLineIndex(r.start);
+            const std::uint64_t last = cacheLineIndex(r.end - 1);
+            for (std::uint64_t line = first; line <= last; ++line)
+                shadow[line] = 1; // dirty
+            break;
+          }
+          case EventKind::Flush: {
+            const AddrRange r = e.range();
+            const std::uint64_t first = cacheLineIndex(r.start);
+            const std::uint64_t last = cacheLineIndex(r.end - 1);
+            for (std::uint64_t line = first; line <= last; ++line) {
+                auto it = shadow.find(line);
+                if (it != shadow.end() && it->second == 1) {
+                    it->second = 2; // flush pending
+                    pending.push_back(line);
+                }
+            }
+            break;
+          }
+          case EventKind::Fence:
+          case EventKind::JoinStrand:
+            for (std::uint64_t line : pending) {
+                auto it = shadow.find(line);
+                if (it != shadow.end() && it->second == 2)
+                    it->second = 3; // durable
+            }
+            pending.clear();
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Post-failure stage: run the registered recovery verifier against
+    // the state at this failure point.
+    if (verifier_) {
+        const std::string inconsistency = verifier_();
+        if (!inconsistency.empty()) {
+            BugReport report;
+            report.type = BugType::CrossFailureSemantic;
+            report.seq = event.seq;
+            report.detail = inconsistency;
+            bugs_.report(report);
+        }
+    }
+}
+
+void
+XfDetector::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    tree_.forEach([&](const LocationRecord &rec) {
+        BugReport report;
+        report.type = BugType::NoDurability;
+        report.range = rec.range;
+        report.seq = lastSeq_;
+        report.cause = rec.state == FlushState::Flushed
+                           ? DurabilityCause::MissingFence
+                           : DurabilityCause::MissingFlush;
+        report.detail = rec.state == FlushState::Flushed
+                            ? "flushed but never fenced"
+                            : "never flushed";
+        bugs_.report(report);
+    });
+}
+
+DebuggerStats
+XfDetector::stats() const
+{
+    DebuggerStats stats = base_;
+    stats.tree = tree_.stats();
+    return stats;
+}
+
+} // namespace pmdb

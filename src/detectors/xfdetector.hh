@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Behavioural model of XFDetector (Liu et al., ASPLOS'20), the
+ * cross-failure bug detector.
+ *
+ * XFDetector injects failure points into the pre-failure execution and,
+ * for each, replays/examines the execution to detect cross-failure
+ * bugs (post-failure code reading non-durable or semantically
+ * inconsistent data). That per-failure-point replay is what makes it
+ * the slowest tool in the comparison (~370x over native, Section 7.2);
+ * to remain usable it must restrict the number of instrumented failure
+ * points, which is also why it misses bugs in large applications such
+ * as memcached (Section 7.4).
+ *
+ * Coverage (Table 6): no-durability, multiple overwrites, no order
+ * guarantee, redundant flushes, redundant logging, cross-failure
+ * semantic — six types. No flush-nothing, no relaxed-model rules.
+ */
+
+#ifndef PMDB_DETECTORS_XFDETECTOR_HH
+#define PMDB_DETECTORS_XFDETECTOR_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/avl_tree.hh"
+#include "core/bug.hh"
+#include "core/rules.hh"
+#include "core/stats.hh"
+#include "detectors/detector.hh"
+
+namespace pmdb
+{
+
+/** Configuration for the XFDetector model. */
+struct XfDetectorConfig
+{
+    /**
+     * Maximum number of failure points to exercise. XFDetector
+     * restricts failure points to bound its overhead — at the cost of
+     * coverage (Section 7.4).
+     */
+    std::size_t maxFailurePoints = 500;
+
+    /**
+     * Inject a failure point at every Nth fence, spreading the points
+     * over the execution instead of clustering them at the start.
+     */
+    std::uint64_t fenceStride = 64;
+
+    /** Ordering constraints (XFDetector also takes these from the
+     * programmer, Section 8). */
+    OrderSpec orderSpec;
+
+    /**
+     * Flag overwrites of not-yet-persisted data. Like pmemcheck's
+     * mult-stores switch this is opt-in, because batched-persistence
+     * idioms legally overwrite volatile-dirty data.
+     */
+    bool detectMultipleOverwrite = false;
+};
+
+/** The XFDetector baseline detector. */
+class XfDetector : public Detector
+{
+  public:
+    /**
+     * Optional cross-failure verifier invoked at each failure point;
+     * returns an empty string when the post-failure state is
+     * consistent, or a description of the inconsistency.
+     */
+    using CrossFailureVerifier = std::function<std::string()>;
+
+    explicit XfDetector(XfDetectorConfig config = {});
+
+    const char *detectorName() const override { return "xfdetector"; }
+
+    bool isDbiBased() const override { return true; }
+
+    void handle(const Event &event) override;
+
+    const BugCollector &bugs() const override { return bugs_; }
+
+    void finalize() override;
+
+    DebuggerStats stats() const override;
+
+    void
+    setCrossFailureVerifier(CrossFailureVerifier verifier)
+    {
+        verifier_ = std::move(verifier);
+    }
+
+    /** Failure points actually exercised. */
+    std::size_t failurePointsRun() const { return failurePointsRun_; }
+
+    /** Shadow operations replayed across all failure points. */
+    std::uint64_t replayedOps() const { return replayedOps_; }
+
+  private:
+    void processStore(const Event &event);
+    void processFlush(const Event &event);
+    void processFence(const Event &event);
+    void runFailurePoint(const Event &event);
+
+    XfDetectorConfig config_;
+    AvlTree tree_;
+    OrderTracker orderTracker_;
+    std::vector<AddrRange> loggedThisEpoch_;
+    /** Recorded pre-failure trace, replayed at failure points. */
+    std::vector<Event> trace_;
+    CrossFailureVerifier verifier_;
+    BugCollector bugs_;
+    DebuggerStats base_;
+    const NameTable *names_ = nullptr;
+
+    std::uint64_t fenceCount_ = 0;
+    std::size_t failurePointsRun_ = 0;
+    std::uint64_t replayedOps_ = 0;
+    int epochDepth_ = 0;
+    bool finalized_ = false;
+    SeqNum lastSeq_ = 0;
+
+  public:
+    void attached(const NameTable &names) override { names_ = &names; }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_DETECTORS_XFDETECTOR_HH

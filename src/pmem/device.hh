@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulated persistent-memory device with an x86 persistence-domain
+ * model.
+ *
+ * The paper evaluates on Intel Optane DCPMM (App Direct). This module
+ * substitutes a software model that implements the same persistence
+ * semantics the debugger reasons about:
+ *
+ *  - a store makes cache lines *dirty* in the volatile image;
+ *  - a CLF (CLWB/CLFLUSH/CLFLUSHOPT) *initiates* writeback: the line's
+ *    bytes at flush time are queued as pending;
+ *  - an SFENCE *completes* pending writebacks: queued line images
+ *    become part of the durable (persisted) image.
+ *
+ * CrashSimulator materializes the memory image a real crash would leave
+ * behind, which drives cross-failure-semantic bug checking (Section 7.3)
+ * and the crash-recovery example.
+ */
+
+#ifndef PMDB_PMEM_DEVICE_HH
+#define PMDB_PMEM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** A snapshot of one cache line queued for writeback. */
+struct PendingLine
+{
+    std::array<std::uint8_t, cacheLineSize> data;
+};
+
+/**
+ * Byte-addressable simulated PM device.
+ *
+ * Maintains two images: the volatile image (what the running program
+ * reads and writes, i.e. memory + caches) and the persisted image (what
+ * has provably reached the persistence domain). As a TraceSink it
+ * consumes Flush and Fence events to move line snapshots from the
+ * pending writeback queue into the persisted image.
+ */
+class PmemDevice : public TraceSink
+{
+  public:
+    /** Create a device of @p size bytes, zero-initialized. */
+    explicit PmemDevice(std::size_t size);
+
+    std::size_t size() const { return volatileImage_.size(); }
+
+    /** @name Program-visible data path. */
+    /** @{ */
+
+    /** Write @p size bytes at @p addr (marks covered lines dirty). */
+    void write(Addr addr, const void *data, std::size_t size);
+
+    /** Read @p size bytes at @p addr from the volatile image. */
+    void read(Addr addr, void *out, std::size_t size) const;
+
+    /** Direct pointer into the volatile image (device retains ownership). */
+    std::uint8_t *rawVolatile(Addr addr);
+    const std::uint8_t *rawVolatile(Addr addr) const;
+
+    /** @} */
+
+    /** @name Persistence-domain inspection. */
+    /** @{ */
+
+    /** Read from the persisted (durable) image. */
+    void readPersisted(Addr addr, void *out, std::size_t size) const;
+
+    /** True if any byte of the range is dirty and not yet flushed. */
+    bool hasDirty(const AddrRange &range) const;
+
+    /** True if any line overlapping the range has a pending writeback. */
+    bool hasPendingFlush(const AddrRange &range) const;
+
+    /**
+     * True if the range's volatile content has fully reached the
+     * persisted image (no dirty bytes, no pending flushes).
+     */
+    bool isDurable(const AddrRange &range) const;
+
+    std::size_t dirtyLineCount() const { return dirtyLines_.size(); }
+    std::size_t pendingLineCount() const { return pendingLines_.size(); }
+
+    /** @} */
+
+    /** TraceSink: consumes Flush / Fence; ignores other events. */
+    void handle(const Event &event) override;
+
+    /** Reset all state to a zeroed, clean device. */
+    void reset();
+
+  private:
+    friend class CrashSimulator;
+
+    void checkBounds(Addr addr, std::size_t size, const char *what) const;
+    void markDirty(const AddrRange &range);
+    void flushRange(const AddrRange &range);
+    void drainPending();
+
+    std::vector<std::uint8_t> volatileImage_;
+    std::vector<std::uint8_t> persistedImage_;
+    /** Lines with volatile content newer than any queued writeback. */
+    std::unordered_map<std::uint64_t, bool> dirtyLines_;
+    /** Writebacks initiated by a CLF but not yet fenced. */
+    std::unordered_map<std::uint64_t, PendingLine> pendingLines_;
+};
+
+/** What happens to flushed-but-unfenced lines at a simulated crash. */
+enum class CrashPolicy
+{
+    /** No pending writeback survives: only fenced data is durable. */
+    DropPending,
+    /** Every pending writeback happens to land before the crash. */
+    CommitPending,
+    /** Each pending line independently survives with probability 1/2. */
+    RandomPending,
+};
+
+/**
+ * Materializes post-crash memory images from a PmemDevice. Dirty,
+ * never-flushed lines never survive; pending lines survive according
+ * to the chosen policy.
+ */
+class CrashSimulator
+{
+  public:
+    explicit CrashSimulator(const PmemDevice &device) : device_(device) {}
+
+    /**
+     * Produce the byte image a recovery program would observe after a
+     * crash at this instant.
+     */
+    std::vector<std::uint8_t> crashImage(CrashPolicy policy,
+                                         std::uint64_t seed = 1) const;
+
+  private:
+    const PmemDevice &device_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_PMEM_DEVICE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * TraceRecorder captures the instrumented stream into memory so that
+ * the characterization tool (Section 3) can analyse it offline and so
+ * that XFDetector's failure-point replay (Section 7.2/7.3) can re-feed
+ * the pre-failure prefix. NulgrindSink is the paper's "Nulgrind"
+ * baseline: identical instrumentation, zero bookkeeping.
+ */
+
+#ifndef PMDB_TRACE_RECORDER_HH
+#define PMDB_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** Records every event (and keeps a copy of the name table pointer). */
+class TraceRecorder : public TraceSink
+{
+  public:
+    void attached(const NameTable &names) override { names_ = &names; }
+
+    void handle(const Event &event) override { events_.push_back(event); }
+
+    const std::vector<Event> &events() const { return events_; }
+
+    const NameTable *names() const { return names_; }
+
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<Event> events_;
+    const NameTable *names_ = nullptr;
+};
+
+/**
+ * Replays a recorded trace into one or more sinks. Used by offline
+ * analyses; the events keep their original sequence numbers.
+ */
+class TraceReplayer
+{
+  public:
+    explicit TraceReplayer(const std::vector<Event> &events)
+        : events_(events)
+    {
+    }
+
+    /** Feed the whole trace (or the first @p limit events) to @p sink. */
+    void
+    replay(TraceSink &sink,
+           std::size_t limit = ~static_cast<std::size_t>(0)) const
+    {
+        const std::size_t n = std::min(limit, events_.size());
+        for (std::size_t i = 0; i < n; ++i)
+            sink.handle(events_[i]);
+    }
+
+  private:
+    const std::vector<Event> &events_;
+};
+
+/**
+ * Instrumentation-only sink: counts events but performs no bookkeeping.
+ * Measuring a workload with only this sink attached reproduces the
+ * paper's Nulgrind column in Figure 8.
+ */
+class NulgrindSink : public TraceSink
+{
+  public:
+    void
+    handle(const Event &event) override
+    {
+        ++counts_[static_cast<std::size_t>(event.kind)];
+    }
+
+    std::uint64_t
+    count(EventKind kind) const
+    {
+        return counts_[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : counts_)
+            sum += c;
+        return sum;
+    }
+
+  private:
+    std::uint64_t counts_[16] = {};
+};
+
+} // namespace pmdb
+
+#endif // PMDB_TRACE_RECORDER_HH

@@ -1,0 +1,249 @@
+#include "trace/runtime.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.hh"
+
+namespace pmdb
+{
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Store:        return "store";
+      case EventKind::Flush:        return "flush";
+      case EventKind::Fence:        return "fence";
+      case EventKind::EpochBegin:   return "epoch-begin";
+      case EventKind::EpochEnd:     return "epoch-end";
+      case EventKind::StrandBegin:  return "strand-begin";
+      case EventKind::StrandEnd:    return "strand-end";
+      case EventKind::JoinStrand:   return "join-strand";
+      case EventKind::TxLog:        return "tx-log";
+      case EventKind::RegisterPmem: return "register-pmem";
+      case EventKind::ProgramEnd:   return "program-end";
+    }
+    return "unknown";
+}
+
+const char *
+toString(FlushKind kind)
+{
+    switch (kind) {
+      case FlushKind::Clwb:       return "clwb";
+      case FlushKind::Clflush:    return "clflush";
+      case FlushKind::Clflushopt: return "clflushopt";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+NameTable::intern(const std::string &name)
+{
+    for (std::uint32_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return i;
+    }
+    names_.push_back(name);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+const std::string &
+NameTable::name(std::uint32_t id) const
+{
+    if (id >= names_.size())
+        panic("NameTable::name: id out of range");
+    return names_[id];
+}
+
+void
+PmRuntime::attach(TraceSink *sink)
+{
+    if (!sink)
+        panic("PmRuntime::attach: null sink");
+    sinks_.push_back(sink);
+    if (sink->isDbiBased())
+        ++dbiSinks_;
+    sink->attached(names_);
+}
+
+void
+PmRuntime::detach(TraceSink *sink)
+{
+    const auto it = std::find(sinks_.begin(), sinks_.end(), sink);
+    if (it == sinks_.end())
+        return;
+    if (sink->isDbiBased())
+        --dbiSinks_;
+    sinks_.erase(it);
+}
+
+void
+PmRuntime::dbiSpin(std::uint32_t units)
+{
+    // Deterministic busy work standing in for binary-translated guest
+    // instructions; the volatile accumulator keeps the optimizer from
+    // deleting it.
+    static thread_local volatile std::uint64_t accumulator = 0x9e37;
+    std::uint64_t x = accumulator;
+    for (std::uint32_t i = 0; i < units; ++i)
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    accumulator = x;
+}
+
+void
+PmRuntime::appOp(std::uint32_t weight)
+{
+    if (dbiSinks_ > 0)
+        dbiSpin(weight * dbiOpCost_);
+}
+
+void
+PmRuntime::dispatch(Event event)
+{
+    // Native (no-sink) runs must not serialize the application: bump
+    // the sequence atomically and return. Only instrumented runs pay
+    // the serialization, exactly like guest threads under Valgrind.
+    if (sinks_.empty()) {
+        std::atomic_ref<SeqNum> seq(seq_);
+        seq.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (threadSafe_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dbiSinks_ > 0)
+            dbiSpin(dbiEventCost_);
+        event.seq = ++seq_;
+        for (TraceSink *sink : sinks_)
+            sink->handle(event);
+    } else {
+        if (dbiSinks_ > 0)
+            dbiSpin(dbiEventCost_);
+        event.seq = ++seq_;
+        for (TraceSink *sink : sinks_)
+            sink->handle(event);
+    }
+}
+
+void
+PmRuntime::store(Addr addr, std::uint32_t size, ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::Store;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    e.addr = addr;
+    e.size = size;
+    dispatch(e);
+}
+
+void
+PmRuntime::flush(Addr addr, std::uint32_t size, FlushKind kind,
+                 ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::Flush;
+    e.flushKind = kind;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    e.addr = addr;
+    e.size = size;
+    dispatch(e);
+}
+
+void
+PmRuntime::fence(ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::Fence;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    dispatch(e);
+}
+
+void
+PmRuntime::epochBegin(ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::EpochBegin;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    dispatch(e);
+}
+
+void
+PmRuntime::epochEnd(ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::EpochEnd;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    dispatch(e);
+}
+
+void
+PmRuntime::strandBegin(StrandId strand, ThreadId thread)
+{
+    currentStrand_ = strand;
+    Event e;
+    e.kind = EventKind::StrandBegin;
+    e.thread = thread;
+    e.strand = strand;
+    dispatch(e);
+}
+
+void
+PmRuntime::strandEnd(StrandId strand, ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::StrandEnd;
+    e.thread = thread;
+    e.strand = strand;
+    dispatch(e);
+    currentStrand_ = noStrand;
+}
+
+void
+PmRuntime::joinStrand(ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::JoinStrand;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    dispatch(e);
+}
+
+void
+PmRuntime::txLog(Addr addr, std::uint32_t size, ThreadId thread)
+{
+    Event e;
+    e.kind = EventKind::TxLog;
+    e.thread = thread;
+    e.strand = currentStrand_;
+    e.addr = addr;
+    e.size = size;
+    dispatch(e);
+}
+
+void
+PmRuntime::registerPmem(const std::string &name, Addr addr,
+                        std::uint32_t size)
+{
+    Event e;
+    e.kind = EventKind::RegisterPmem;
+    e.nameId = names_.intern(name);
+    e.addr = addr;
+    e.size = size;
+    dispatch(e);
+}
+
+void
+PmRuntime::programEnd()
+{
+    Event e;
+    e.kind = EventKind::ProgramEnd;
+    dispatch(e);
+}
+
+} // namespace pmdb

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * PmRuntime: the instrumentation runtime every PM program in this
+ * repository runs on.
+ *
+ * This substitutes for the paper's Valgrind-based binary
+ * instrumentation: workloads call store()/flush()/fence()/... and the
+ * runtime assigns sequence numbers and dispatches the events to all
+ * attached sinks. Running with zero sinks measures native execution;
+ * attaching only NulgrindSink measures pure instrumentation overhead
+ * (the paper's "Nulgrind" baseline); attaching a detector measures that
+ * detector's debugging overhead.
+ */
+
+#ifndef PMDB_TRACE_RUNTIME_HH
+#define PMDB_TRACE_RUNTIME_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/**
+ * Dispatches instrumented PM operations to attached sinks.
+ *
+ * Sinks are non-owning observers; the caller keeps them alive for the
+ * lifetime of the runtime. By default the runtime is single-threaded;
+ * setThreadSafe(true) serializes dispatch with a mutex, mirroring how
+ * Valgrind serializes guest threads (used by the Fig 10 scalability
+ * experiment).
+ */
+class PmRuntime
+{
+  public:
+    PmRuntime() = default;
+
+    PmRuntime(const PmRuntime &) = delete;
+    PmRuntime &operator=(const PmRuntime &) = delete;
+
+    /** Attach an event consumer. The runtime does not take ownership. */
+    void attach(TraceSink *sink);
+
+    /** Detach a previously attached consumer. */
+    void detach(TraceSink *sink);
+
+    /** Serialize event dispatch across threads. */
+    void setThreadSafe(bool on) { threadSafe_ = on; }
+
+    /**
+     * Mark one application-level operation (a request, an insert).
+     * When a DBI-based sink is attached, this charges the operation's
+     * share of binary-translation overhead — modelling that Valgrind
+     * slows down *all* guest instructions, not just PM accesses.
+     * Without a DBI sink this is (nearly) free.
+     */
+    void appOp(std::uint32_t weight = 1);
+
+    /** Calibrate the DBI cost model (spin units; see appOp). */
+    void
+    setDbiCosts(std::uint32_t per_event, std::uint32_t per_app_op)
+    {
+        dbiEventCost_ = per_event;
+        dbiOpCost_ = per_app_op;
+    }
+
+    /** @name Instrumented operations (Section 2.1 / Table 2). */
+    /** @{ */
+
+    /** A store of @p size bytes at @p addr in persistent memory. */
+    void store(Addr addr, std::uint32_t size, ThreadId thread = 0);
+
+    /** A cache-line writeback covering [addr, addr+size). */
+    void flush(Addr addr, std::uint32_t size,
+               FlushKind kind = FlushKind::Clwb, ThreadId thread = 0);
+
+    /** An SFENCE: completes pending writebacks, orders persists. */
+    void fence(ThreadId thread = 0);
+
+    /** Epoch section begin (TX_BEGIN). */
+    void epochBegin(ThreadId thread = 0);
+
+    /** Epoch section end (TX_END); emits the section's closing barrier. */
+    void epochEnd(ThreadId thread = 0);
+
+    /** Strand section begin; subsequent events carry @p strand. */
+    void strandBegin(StrandId strand, ThreadId thread = 0);
+
+    /** Strand section end. */
+    void strandEnd(StrandId strand, ThreadId thread = 0);
+
+    /** Explicit ordering join across strands. */
+    void joinStrand(ThreadId thread = 0);
+
+    /** Undo-log append for the object at [addr, addr+size). */
+    void txLog(Addr addr, std::uint32_t size, ThreadId thread = 0);
+
+    /**
+     * Register a persistent region / named variable for debugging
+     * (Register_pmem of Table 2). Named variables let the order-spec
+     * configuration refer to program symbols.
+     */
+    void registerPmem(const std::string &name, Addr addr,
+                      std::uint32_t size);
+
+    /** Signal end of program; sinks run their finalize rules. */
+    void programEnd();
+
+    /** @} */
+
+    /** Total events dispatched so far. */
+    SeqNum eventCount() const { return seq_; }
+
+    const NameTable &names() const { return names_; }
+
+  private:
+    void dispatch(Event event);
+    static void dbiSpin(std::uint32_t units);
+
+    std::vector<TraceSink *> sinks_;
+    /** Number of attached DBI-based sinks. */
+    int dbiSinks_ = 0;
+    std::uint32_t dbiEventCost_ = 25;
+    std::uint32_t dbiOpCost_ = 400;
+    NameTable names_;
+    SeqNum seq_ = 0;
+    /** Strand id of the currently open strand per thread; noStrand if none. */
+    StrandId currentStrand_ = noStrand;
+    bool threadSafe_ = false;
+    std::mutex mutex_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_TRACE_RUNTIME_HH

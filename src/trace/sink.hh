@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Consumer interface for the instrumented event stream.
+ */
+
+#ifndef PMDB_TRACE_SINK_HH
+#define PMDB_TRACE_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace pmdb
+{
+
+/**
+ * Interned string table for event names (registered PM variables).
+ * Owned by the runtime; sinks receive a reference when attached.
+ */
+class NameTable
+{
+  public:
+    /** Intern @p name, returning its stable id. */
+    std::uint32_t intern(const std::string &name);
+
+    /** Look up a previously interned name. */
+    const std::string &name(std::uint32_t id) const;
+
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_;
+};
+
+/**
+ * A consumer of instrumented events. Detectors, the PM device model and
+ * trace recorders all implement this interface, so bug-detection
+ * capability and performance measurements come from the same stream.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once when the sink is attached to a runtime. */
+    virtual void attached(const NameTable &names) { (void)names; }
+
+    /** Deliver one instrumented event. */
+    virtual void handle(const Event &event) = 0;
+
+    /**
+     * True for tools that rely on dynamic binary instrumentation
+     * (Valgrind in the paper: Nulgrind, Pmemcheck, PMDebugger,
+     * XFDetector). While any such sink is attached, the runtime
+     * charges the calibrated binary-translation overhead to every
+     * event and every application operation — the cost that dominates
+     * the paper's Figure 8 slowdowns. Annotation-based tools (PMTest)
+     * return false: they pay no translation tax, which is exactly why
+     * PMTest is the fastest tool in the comparison.
+     */
+    virtual bool isDbiBased() const { return false; }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_TRACE_SINK_HH

@@ -1,0 +1,158 @@
+#include "trace/trace_file.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace pmdb
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'P', 'M', 'D', 'B',
+                                'T', 'R', 'C', '1'};
+
+/** Fixed-width on-disk event layout. */
+struct PackedEvent
+{
+    std::uint8_t kind;
+    std::uint8_t flushKind;
+    std::int32_t thread;
+    std::int32_t strand;
+    std::uint32_t nameId;
+    std::uint64_t addr;
+    std::uint32_t size;
+    std::uint64_t seq;
+};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *file) const
+    {
+        if (file)
+            std::fclose(file);
+    }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+template <typename T>
+bool
+writeValue(std::FILE *file, const T &value)
+{
+    return std::fwrite(&value, sizeof(T), 1, file) == 1;
+}
+
+template <typename T>
+bool
+readValue(std::FILE *file, T *value)
+{
+    return std::fread(value, sizeof(T), 1, file) == 1;
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const std::vector<Event> &events,
+               const NameTable &names, std::string *error)
+{
+    FileHandle file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        return fail(error, "cannot open " + path + " for writing");
+
+    if (std::fwrite(traceMagic, sizeof(traceMagic), 1, file.get()) != 1)
+        return fail(error, "write failed: magic");
+
+    const auto name_count = static_cast<std::uint32_t>(names.size());
+    if (!writeValue(file.get(), name_count))
+        return fail(error, "write failed: name count");
+    for (std::uint32_t i = 0; i < name_count; ++i) {
+        const std::string &name = names.name(i);
+        const auto len = static_cast<std::uint32_t>(name.size());
+        if (!writeValue(file.get(), len) ||
+            (len && std::fwrite(name.data(), 1, len, file.get()) != len)) {
+            return fail(error, "write failed: name table");
+        }
+    }
+
+    const auto event_count = static_cast<std::uint64_t>(events.size());
+    if (!writeValue(file.get(), event_count))
+        return fail(error, "write failed: event count");
+    for (const Event &event : events) {
+        PackedEvent packed;
+        packed.kind = static_cast<std::uint8_t>(event.kind);
+        packed.flushKind = static_cast<std::uint8_t>(event.flushKind);
+        packed.thread = event.thread;
+        packed.strand = event.strand;
+        packed.nameId = event.nameId;
+        packed.addr = event.addr;
+        packed.size = event.size;
+        packed.seq = event.seq;
+        if (!writeValue(file.get(), packed))
+            return fail(error, "write failed: event record");
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, LoadedTrace *out,
+              std::string *error)
+{
+    FileHandle file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return fail(error, "cannot open " + path);
+
+    char magic[sizeof(traceMagic)];
+    if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
+        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        return fail(error, path + " is not a PMDB trace (bad magic)");
+    }
+
+    std::uint32_t name_count = 0;
+    if (!readValue(file.get(), &name_count))
+        return fail(error, "truncated trace: name count");
+    for (std::uint32_t i = 0; i < name_count; ++i) {
+        std::uint32_t len = 0;
+        if (!readValue(file.get(), &len) || len > (1u << 20))
+            return fail(error, "truncated trace: name length");
+        std::string name(len, '\0');
+        if (len && std::fread(name.data(), 1, len, file.get()) != len)
+            return fail(error, "truncated trace: name bytes");
+        out->names.intern(name);
+    }
+
+    std::uint64_t event_count = 0;
+    if (!readValue(file.get(), &event_count))
+        return fail(error, "truncated trace: event count");
+    out->events.clear();
+    out->events.reserve(event_count);
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+        PackedEvent packed;
+        if (!readValue(file.get(), &packed))
+            return fail(error, "truncated trace: event records");
+        Event event;
+        event.kind = static_cast<EventKind>(packed.kind);
+        event.flushKind = static_cast<FlushKind>(packed.flushKind);
+        event.thread = packed.thread;
+        event.strand = packed.strand;
+        event.nameId = packed.nameId;
+        event.addr = packed.addr;
+        event.size = packed.size;
+        event.seq = packed.seq;
+        out->events.push_back(event);
+    }
+    return true;
+}
+
+} // namespace pmdb

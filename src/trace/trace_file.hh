@@ -1,0 +1,52 @@
+/**
+ * @file
+ * On-disk trace format.
+ *
+ * Recorded event streams can be saved and re-loaded, enabling the
+ * record-once / analyze-many workflow that post-mortem tools (Intel's
+ * Persistence Inspector) use, offline characterization, and detector
+ * regression testing against frozen traces.
+ *
+ * Format (little-endian, version 1):
+ *   magic   "PMDBTRC1"                      (8 bytes)
+ *   u32     name count                       + each: u32 len, bytes
+ *   u64     event count                      + each: packed EventRecord
+ */
+
+#ifndef PMDB_TRACE_TRACE_FILE_HH
+#define PMDB_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** A loaded trace: events plus the interned names they reference. */
+struct LoadedTrace
+{
+    std::vector<Event> events;
+    NameTable names;
+};
+
+/**
+ * Write @p events (and @p names, which their nameIds index) to
+ * @p path. Returns false and fills @p error on I/O failure.
+ */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<Event> &events,
+                    const NameTable &names,
+                    std::string *error = nullptr);
+
+/**
+ * Load a trace written by writeTraceFile. Returns false and fills
+ * @p error on I/O failure or format mismatch.
+ */
+bool readTraceFile(const std::string &path, LoadedTrace *out,
+                   std::string *error = nullptr);
+
+} // namespace pmdb
+
+#endif // PMDB_TRACE_TRACE_FILE_HH

@@ -1,0 +1,223 @@
+#include "workloads/ctree.hh"
+
+#include <bit>
+
+#include "common/rng.hh"
+
+namespace pmdb
+{
+
+PersistentCTree::PersistentCTree(PmemPool &pool, const FaultSet &faults,
+                                 PmTestDetector *pmtest)
+    : pool_(pool), faults_(faults), pmtest_(pmtest)
+{
+    meta_ = pool_.root(sizeof(Meta));
+    pool_.registerVariable("ctree.meta", meta_, sizeof(Meta));
+}
+
+void
+PersistentCTree::insert(std::uint64_t key, std::uint64_t value)
+{
+    if (pmtest_)
+        pmtest_->pmTestStart();
+
+    Transaction tx(pool_);
+    tx.begin();
+
+    Meta meta = pool_.load<Meta>(meta_);
+    if (meta.root == 0) {
+        const Addr leaf = tx.alloc(sizeof(Leaf));
+        pool_.store(leaf, Leaf{key, value});
+        tx.addRange(meta_, sizeof(Meta));
+        meta.root = tagLeaf(leaf);
+        meta.count = 1;
+        pool_.store(meta_, meta);
+        tx.commit();
+        if (pmtest_) {
+            pmtest_->isPersist(meta_, sizeof(Meta));
+            pmtest_->pmTestEnd();
+        }
+        return;
+    }
+
+    // Descend to the closest leaf.
+    Addr tagged = meta.root;
+    while (!isLeaf(tagged)) {
+        const Node node = pool_.load<Node>(untag(tagged));
+        tagged = node.child[(key >> node.critBit) & 1];
+    }
+    const Addr leaf_addr = untag(tagged);
+    Leaf leaf = pool_.load<Leaf>(leaf_addr);
+
+    if (leaf.key == key) {
+        // Update in place.
+        tx.addRange(leaf_addr, sizeof(Leaf));
+        leaf.value = value;
+        pool_.store(leaf_addr, leaf);
+        tx.commit();
+        if (pmtest_) {
+            pmtest_->isPersist(leaf_addr, sizeof(Leaf));
+            pmtest_->pmTestEnd();
+        }
+        return;
+    }
+
+    // Find the critical bit distinguishing the new key.
+    const std::uint64_t diff = leaf.key ^ key;
+    const std::uint32_t crit =
+        63u - static_cast<std::uint32_t>(std::countl_zero(diff));
+
+    const Addr new_leaf = tx.alloc(sizeof(Leaf));
+    pool_.store(new_leaf, Leaf{key, value});
+    const Addr new_node = tx.alloc(sizeof(Node));
+
+    Addr parent = 0; // 0 = the root slot in meta
+    int parent_dir = 0;
+    Addr cursor = meta.root;
+    while (!isLeaf(cursor)) {
+        const Node node = pool_.load<Node>(untag(cursor));
+        if (node.critBit < crit)
+            break;
+        parent = untag(cursor);
+        parent_dir = static_cast<int>((key >> node.critBit) & 1);
+        cursor = node.child[parent_dir];
+    }
+
+    Node fresh;
+    fresh.critBit = crit;
+    fresh.pad = 0;
+    const int dir = static_cast<int>((key >> crit) & 1);
+    fresh.child[dir] = tagLeaf(new_leaf);
+    fresh.child[1 - dir] = cursor;
+    pool_.store(new_node, fresh);
+
+    if (parent == 0) {
+        tx.addRange(meta_, sizeof(Meta));
+        meta.root = new_node;
+        ++meta.count;
+        pool_.store(meta_, meta);
+    } else {
+        if (!faults_.active("ctree_skip_log_parent"))
+            tx.addRange(parent, sizeof(Node));
+        Node pnode = pool_.load<Node>(parent);
+        pnode.child[parent_dir] = new_node;
+        pool_.store(parent, pnode);
+
+        tx.addRange(meta_, sizeof(Meta));
+        ++meta.count;
+        pool_.store(meta_, meta);
+    }
+
+    tx.commit();
+    if (pmtest_) {
+        pmtest_->isPersist(new_leaf, sizeof(Leaf));
+        pmtest_->pmTestEnd();
+    }
+}
+
+bool
+PersistentCTree::remove(std::uint64_t key)
+{
+    Meta meta = pool_.load<Meta>(meta_);
+    if (meta.root == 0)
+        return false;
+
+    // Walk to the leaf, remembering the parent edge and the
+    // grandparent edge above it.
+    Addr grand = 0;      // node owning the edge to parent (0 = meta)
+    int grand_dir = 0;
+    Addr parent = 0;     // node owning the edge to the leaf (0 = meta)
+    int parent_dir = 0;
+    Addr cursor = meta.root;
+    while (!isLeaf(cursor)) {
+        const Node node = pool_.load<Node>(untag(cursor));
+        grand = parent;
+        grand_dir = parent_dir;
+        parent = untag(cursor);
+        parent_dir = static_cast<int>((key >> node.critBit) & 1);
+        cursor = node.child[parent_dir];
+    }
+    const Addr leaf_addr = untag(cursor);
+    if (pool_.load<Leaf>(leaf_addr).key != key)
+        return false;
+
+    Transaction tx(pool_);
+    tx.begin();
+    if (parent == 0) {
+        // The root was the leaf itself.
+        tx.addRange(meta_, sizeof(Meta));
+        meta.root = 0;
+        --meta.count;
+        pool_.store(meta_, meta);
+    } else {
+        // Splice the leaf's sibling into the grandparent's edge,
+        // retiring the parent node (standard crit-bit delete).
+        const Node pnode = pool_.load<Node>(parent);
+        const Addr sibling = pnode.child[1 - parent_dir];
+        if (grand == 0) {
+            tx.addRange(meta_, sizeof(Meta));
+            meta.root = sibling;
+            --meta.count;
+            pool_.store(meta_, meta);
+        } else {
+            const Addr edge =
+                grand + offsetof(Node, child) +
+                static_cast<Addr>(grand_dir) * sizeof(Addr);
+            tx.addRange(edge, sizeof(Addr));
+            pool_.store<Addr>(edge, sibling);
+            tx.addRange(meta_, sizeof(Meta));
+            --meta.count;
+            pool_.store(meta_, meta);
+        }
+    }
+    tx.commit();
+    if (parent != 0)
+        pool_.freeObj(parent);
+    pool_.freeObj(leaf_addr);
+    return true;
+}
+
+std::optional<std::uint64_t>
+PersistentCTree::lookup(std::uint64_t key) const
+{
+    Meta meta = pool_.load<Meta>(meta_);
+    Addr tagged = meta.root;
+    if (tagged == 0)
+        return std::nullopt;
+    while (!isLeaf(tagged)) {
+        const Node node = pool_.load<Node>(untag(tagged));
+        tagged = node.child[(key >> node.critBit) & 1];
+    }
+    const Leaf leaf = pool_.load<Leaf>(untag(tagged));
+    if (leaf.key == key)
+        return leaf.value;
+    return std::nullopt;
+}
+
+std::uint64_t
+PersistentCTree::count() const
+{
+    return pool_.load<Meta>(meta_).count;
+}
+
+void
+CTreeWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(16 << 20,
+                                           options.operations * 512);
+    PmemPool pool(runtime, pool_bytes, "c_tree.pool",
+                  options.trackPersistence);
+    PersistentCTree tree(pool, options.faults, options.pmtest);
+
+    Rng rng(options.seed);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        tree.insert(rng.next(), i);
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * c_tree: transactional persistent crit-bit tree (PMDK example).
+ *
+ * A binary trie keyed by the highest differing bit between keys, as in
+ * PMDK's ctree example. Inserts allocate at most one leaf and one
+ * internal node, giving short transactions with small undo logs — the
+ * "distance = 1" pattern of Figure 2a.
+ *
+ * Fault-injection points:
+ *  - "ctree_skip_log_parent": parent pointer update not logged/flushed
+ *    (lack durability in epoch).
+ */
+
+#ifndef PMDB_WORKLOADS_CTREE_HH
+#define PMDB_WORKLOADS_CTREE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "pmdk/pool.hh"
+#include "pmdk/tx.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Persistent crit-bit tree. */
+class PersistentCTree
+{
+  public:
+    /** Leaf: a key/value pair. */
+    struct Leaf
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+
+    /** Internal node: children ordered by the critical bit. */
+    struct Node
+    {
+        /** Bit index (63..0) distinguishing the two subtrees. */
+        std::uint32_t critBit;
+        std::uint32_t pad;
+        /** Tagged child pointers (bit 0 set = leaf). */
+        Addr child[2];
+    };
+
+    struct Meta
+    {
+        /** Tagged root pointer (0 = empty tree). */
+        Addr root;
+        std::uint64_t count;
+    };
+
+    PersistentCTree(PmemPool &pool, const FaultSet &faults,
+                    PmTestDetector *pmtest = nullptr);
+
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    /** Remove @p key (crit-bit delete); returns true if present. */
+    bool remove(std::uint64_t key);
+
+    std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+
+    std::uint64_t count() const;
+
+  private:
+    static bool isLeaf(Addr tagged) { return (tagged & 1) != 0; }
+    static Addr untag(Addr tagged) { return tagged & ~Addr(1); }
+    static Addr tagLeaf(Addr addr) { return addr | 1; }
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    Addr meta_;
+};
+
+/** The c_tree workload of Table 4. */
+class CTreeWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "c_tree"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_CTREE_HH

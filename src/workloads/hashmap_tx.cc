@@ -1,0 +1,236 @@
+#include "workloads/hashmap_tx.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace pmdb
+{
+
+PersistentHashmapTx::PersistentHashmapTx(PmemPool &pool,
+                                         const FaultSet &faults,
+                                         PmTestDetector *pmtest,
+                                         std::uint64_t n_buckets)
+    : pool_(pool), faults_(faults), pmtest_(pmtest), nBuckets_(n_buckets)
+{
+    meta_ = pool_.root(sizeof(Meta));
+    pool_.registerVariable("hashmap_tx.meta", meta_, sizeof(Meta));
+
+    Meta meta = pool_.load<Meta>(meta_);
+    if (meta.buckets == 0) {
+        // Create the bucket and statistics arrays. alloc() zero-fills
+        // and persists them.
+        const Addr buckets = pool_.alloc(nBuckets_ * sizeof(Addr));
+        const Addr stats = pool_.alloc(nBuckets_ * sizeof(std::uint64_t));
+        Transaction tx(pool_);
+        tx.begin();
+        tx.addRange(meta_, sizeof(Meta));
+        meta.buckets = buckets;
+        meta.bucketStats = stats;
+        meta.nBuckets = nBuckets_;
+        meta.count = 0;
+        pool_.store(meta_, meta);
+        tx.commit();
+    } else {
+        nBuckets_ = meta.nBuckets;
+    }
+}
+
+Addr
+PersistentHashmapTx::bucketAddr(std::uint64_t index) const
+{
+    return pool_.load<Meta>(meta_).buckets + index * sizeof(Addr);
+}
+
+Addr
+PersistentHashmapTx::statAddr(std::uint64_t index) const
+{
+    return pool_.load<Meta>(meta_).bucketStats +
+           index * sizeof(std::uint64_t);
+}
+
+void
+PersistentHashmapTx::insert(std::uint64_t key, std::uint64_t value)
+{
+    if (pmtest_)
+        pmtest_->pmTestStart();
+
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    const Addr slot = bucketAddr(bucket);
+
+    {
+        Transaction tx(pool_);
+        tx.begin();
+
+        // Walk the chain for an existing key.
+        Addr cursor = pool_.load<Addr>(slot);
+        bool updated = false;
+        while (cursor) {
+            Entry entry = pool_.load<Entry>(cursor);
+            if (entry.key == key) {
+                if (tx.addRange(cursor, sizeof(Entry)) && pmtest_)
+                    pmtest_->txChecker(cursor, sizeof(Entry));
+                if (faults_.active("hmtx_double_log")) {
+                    if (tx.addRange(cursor + 8, 8) && pmtest_)
+                        pmtest_->txChecker(cursor + 8, 8);
+                }
+                entry.value = value;
+                pool_.store(cursor, entry);
+                updated = true;
+                break;
+            }
+            cursor = entry.next;
+        }
+
+        if (!updated) {
+            const Addr fresh = tx.alloc(sizeof(Entry));
+            Entry entry{key, value, pool_.load<Addr>(slot)};
+            pool_.store(fresh, entry);
+            if (faults_.active("hmtx_double_log")) {
+                // Two overlapping undo entries for the fresh object.
+                if (tx.addRange(fresh, 16) && pmtest_)
+                    pmtest_->txChecker(fresh, 16);
+                if (tx.addRange(fresh + 8, 8) && pmtest_)
+                    pmtest_->txChecker(fresh + 8, 8);
+            }
+
+            if (!faults_.active("hmtx_skip_log_bucket"))
+                tx.addRange(slot, sizeof(Addr));
+            pool_.store<Addr>(slot, fresh);
+
+            tx.addRange(meta_, sizeof(Meta));
+            Meta meta = pool_.load<Meta>(meta_);
+            ++meta.count;
+            pool_.store(meta_, meta);
+        }
+
+        tx.commit();
+    }
+
+    // Deferred statistics: the counter store happens now (outside the
+    // epoch) but is only flushed in periodic batches.
+    const Addr stat = statAddr(bucket);
+    const std::uint64_t hits = pool_.load<std::uint64_t>(stat) + 1;
+    pool_.store<std::uint64_t>(stat, hits);
+    dirtyStats_.push_back(stat);
+    ++sinceStatsFlush_;
+    const bool batch_due = sinceStatsFlush_ >= statsFlushPeriod;
+    if (batch_due)
+        flushStats();
+
+    if (pmtest_) {
+        pmtest_->isPersist(slot, sizeof(Addr));
+        if (batch_due)
+            pmtest_->isPersist(stat, sizeof(std::uint64_t));
+        pmtest_->pmTestEnd();
+    }
+}
+
+void
+PersistentHashmapTx::flushStats()
+{
+    sinceStatsFlush_ = 0;
+    if (faults_.active("hmtx_skip_stats_flush")) {
+        dirtyStats_.clear();
+        return;
+    }
+    // Flush exactly the dirtied counters (at line granularity, each
+    // line once) and drain with one fence.
+    std::sort(dirtyStats_.begin(), dirtyStats_.end());
+    Addr last_line = ~Addr(0);
+    bool flushed_any = false;
+    for (Addr stat : dirtyStats_) {
+        const Addr line = cacheLineBase(stat);
+        if (line == last_line)
+            continue;
+        pool_.flush(line, cacheLineSize);
+        last_line = line;
+        flushed_any = true;
+    }
+    if (flushed_any)
+        pool_.fence();
+    dirtyStats_.clear();
+}
+
+bool
+PersistentHashmapTx::remove(std::uint64_t key)
+{
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    const Addr slot = bucketAddr(bucket);
+
+    Transaction tx(pool_);
+    tx.begin();
+    Addr freed = 0;
+    Addr prev = 0;
+    Addr cursor = pool_.load<Addr>(slot);
+    while (cursor) {
+        const Entry entry = pool_.load<Entry>(cursor);
+        if (entry.key == key) {
+            freed = cursor;
+            if (prev) {
+                tx.addRange(prev + offsetof(Entry, next), sizeof(Addr));
+                pool_.store<Addr>(prev + offsetof(Entry, next),
+                                  entry.next);
+            } else {
+                tx.addRange(slot, sizeof(Addr));
+                pool_.store<Addr>(slot, entry.next);
+            }
+            tx.addRange(meta_, sizeof(Meta));
+            Meta meta = pool_.load<Meta>(meta_);
+            --meta.count;
+            pool_.store(meta_, meta);
+            break;
+        }
+        prev = cursor;
+        cursor = entry.next;
+    }
+    tx.commit();
+    // The block returns to the allocator outside the epoch, with its
+    // own header persist.
+    if (freed)
+        pool_.freeObj(freed);
+    return freed != 0;
+}
+
+std::optional<std::uint64_t>
+PersistentHashmapTx::lookup(std::uint64_t key) const
+{
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    Addr cursor = pool_.load<Addr>(bucketAddr(bucket));
+    while (cursor) {
+        const Entry entry = pool_.load<Entry>(cursor);
+        if (entry.key == key)
+            return entry.value;
+        cursor = entry.next;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+PersistentHashmapTx::count() const
+{
+    return pool_.load<Meta>(meta_).count;
+}
+
+void
+HashmapTxWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(16 << 20,
+                                           options.operations * 256);
+    PmemPool pool(runtime, pool_bytes, "hashmap_tx.pool",
+                  options.trackPersistence);
+    PersistentHashmapTx map(pool, options.faults, options.pmtest);
+
+    Rng rng(options.seed);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        map.insert(rng.next(), i);
+    }
+
+    map.flushStats();
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * hashmap_tx: transactional persistent hashmap (PMDK example).
+ *
+ * Chained hashing with one transaction per insert, plus a
+ * deferred-persistence statistics array: per-bucket access counters are
+ * stored immediately but only flushed in periodic batches (their
+ * durability is reconstructible, so the example defers the cost). That
+ * deferral is what gives hashmap_tx the paper's distinctive profile:
+ * many stores whose durability is *not* guaranteed by the nearest fence
+ * (Figure 2a's long-distance tail), which keeps hundreds of records in
+ * PMDebugger's AVL tree (Figure 11: 528 vs ≤25 elsewhere) and makes
+ * hashmap_tx its least favourable benchmark (still 1.4x over
+ * Pmemcheck).
+ *
+ * Fault-injection points:
+ *  - "hmtx_skip_log_bucket":  bucket head update not logged/flushed
+ *                             (lack durability in epoch);
+ *  - "hmtx_double_log":       entry logged twice (redundant logging);
+ *  - "hmtx_skip_stats_flush": statistics never flushed (no durability).
+ */
+
+#ifndef PMDB_WORKLOADS_HASHMAP_TX_HH
+#define PMDB_WORKLOADS_HASHMAP_TX_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "pmdk/pool.hh"
+#include "pmdk/tx.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Persistent transactional hashmap with deferred statistics. */
+class PersistentHashmapTx
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        Addr next;
+    };
+
+    struct Meta
+    {
+        Addr buckets;     // array of nBuckets tagged heads
+        Addr bucketStats; // array of nBuckets access counters
+        std::uint64_t nBuckets;
+        std::uint64_t count;
+    };
+
+    /** Inserts between statistics batch flushes. */
+    static constexpr std::size_t statsFlushPeriod = 1024;
+
+    PersistentHashmapTx(PmemPool &pool, const FaultSet &faults,
+                        PmTestDetector *pmtest = nullptr,
+                        std::uint64_t n_buckets = 4096);
+
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    /** Remove @p key; returns true if it was present. */
+    bool remove(std::uint64_t key);
+
+    std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+
+    std::uint64_t count() const;
+
+    /** Flush the deferred statistics batch (called at teardown too). */
+    void flushStats();
+
+  private:
+    Addr bucketAddr(std::uint64_t index) const;
+    Addr statAddr(std::uint64_t index) const;
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    Addr meta_;
+    std::uint64_t nBuckets_;
+    std::size_t sinceStatsFlush_ = 0;
+    /** Counter addresses dirtied since the last batch flush. */
+    std::vector<Addr> dirtyStats_;
+};
+
+/** The hashmap_tx workload of Table 4. */
+class HashmapTxWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "hashmap_tx"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_HASHMAP_TX_HH

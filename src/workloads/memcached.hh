@@ -1,0 +1,157 @@
+/**
+ * @file
+ * memcached: model of Lenovo's memcached-pmem (Table 4's strict-model
+ * real workload).
+ *
+ * Like memcached-pmem, the item store lives in persistent memory while
+ * the hash index and LRU list are volatile (rebuilt on restart); items
+ * are persisted with strict store→CLWB→SFENCE sequences. The cache is
+ * sharded with per-shard locks, so the native (uninstrumented) run
+ * scales with threads while any attached detector serializes the event
+ * stream — which is exactly the effect behind Figure 10: the slowdown
+ * of a bookkeeping-heavy detector grows almost linearly with thread
+ * count, while PMDebugger's grows much more slowly.
+ *
+ * The driver models memslap: a get/set mix (5% sets by default) over a
+ * zipfian key popularity distribution.
+ *
+ * The 19 new memcached bugs PMDebugger found (Section 7.4) are
+ * reproduced as fault-injection points "mc_bug_1" .. "mc_bug_19";
+ * "mc_real_bugs" enables all of them at once (the as-shipped buggy
+ * code). Bug 1 is Figure 9a verbatim: ITEM_set_cas writes the item's
+ * CAS id on link without persisting it.
+ */
+
+#ifndef PMDB_WORKLOADS_MEMCACHED_HH
+#define PMDB_WORKLOADS_MEMCACHED_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pmdk/pool.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Miniature memcached-pmem with a persistent item store. */
+class MiniMemcached
+{
+  public:
+    static constexpr std::size_t valueBytes = 64;
+    static constexpr std::size_t shardCount = 16;
+
+    /** Persistent item layout (two cache lines). */
+    struct Item
+    {
+        std::uint64_t hash;    // 0
+        std::uint64_t cas;     // 8
+        std::uint32_t flags;   // 16
+        std::uint32_t valLen;  // 20
+        std::uint64_t key;     // 24
+        std::uint32_t exptime; // 32
+        std::uint32_t fetched; // 36
+        std::uint64_t pad[3];  // 40..63
+        std::uint8_t value[valueBytes]; // 64..127
+    };
+    static_assert(sizeof(Item) == 128, "item must span two cache lines");
+
+    /**
+     * Per-shard persistent statistics. Each field has its own cache
+     * line (as memcached pads its stats to avoid false sharing), so
+     * persisting one field never incidentally writes back another.
+     */
+    struct ShardStats
+    {
+        std::uint64_t casId;      // line 0
+        std::uint64_t pad0[7];
+        std::uint64_t totalItems; // line 1
+        std::uint64_t pad1[7];
+        std::uint64_t currItems;  // line 2
+        std::uint64_t pad2[7];
+        std::uint64_t commitFlag; // line 3
+        std::uint64_t pad3[7];
+        std::uint64_t scratch[8]; // line 4
+    };
+    static_assert(sizeof(ShardStats) == 320,
+                  "each stats field must own a full cache line");
+
+    MiniMemcached(PmemPool &pool, const FaultSet &faults,
+                  PmTestDetector *pmtest = nullptr,
+                  std::size_t capacity = 1 << 20);
+
+    /** Store @p key with a value derived from @p payload. */
+    void set(std::uint64_t key, std::uint64_t payload,
+             ThreadId thread = 0);
+
+    /** Fetch @p key; returns true on hit. */
+    bool get(std::uint64_t key, ThreadId thread = 0);
+
+    /** DELETE @p key: tombstone + retire; true if it was present. */
+    bool del(std::uint64_t key, ThreadId thread = 0);
+
+    std::uint64_t currItems() const;
+    std::uint64_t casId() const;
+
+    /** Number of evictions performed so far. */
+    std::uint64_t evictions() const;
+
+  private:
+    struct Shard
+    {
+        std::unordered_map<std::uint64_t, Addr> index;
+        std::list<std::uint64_t> lru; // front = most recent
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator>
+            lruPos;
+        Addr stats = 0;
+        std::uint64_t evictions = 0;
+        /** Retired item kept for the stale-flush bug (bug 11). */
+        Addr staleItem = 0;
+        std::mutex lock;
+    };
+
+    bool bug(int n) const;
+    Shard &shardFor(std::uint64_t key);
+    void setNew(Shard &shard, std::uint64_t key, std::uint64_t payload,
+                ThreadId thread);
+    void setExisting(Shard &shard, Addr item, std::uint64_t payload,
+                     ThreadId thread);
+    void evictOne(Shard &shard, ThreadId thread);
+    void persistStat(Addr field_addr, std::uint64_t value, bool flush,
+                     ThreadId thread);
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    std::size_t perShardCapacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/** The memcached workload of Table 4 (memslap driver). */
+class MemcachedWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "memcached"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Strict;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+
+    std::string
+    orderSpecText() const override
+    {
+        return "persist_before memcached.pending_item "
+               "memcached.commit_flag\n";
+    }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_MEMCACHED_HH

@@ -1,0 +1,313 @@
+#include "workloads/rbtree.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pmdb
+{
+
+PersistentRbTree::PersistentRbTree(PmemPool &pool, const FaultSet &faults,
+                                   PmTestDetector *pmtest)
+    : pool_(pool), faults_(faults), pmtest_(pmtest)
+{
+    meta_ = pool_.root(sizeof(Meta));
+    pool_.registerVariable("rbtree.meta", meta_, sizeof(Meta));
+}
+
+void
+PersistentRbTree::putNode(Transaction &tx, Addr addr, const Node &node,
+                          bool log)
+{
+    if (log)
+        tx.addRange(addr, sizeof(Node));
+    pool_.store(addr, node);
+}
+
+void
+PersistentRbTree::setRoot(Transaction &tx, Addr node)
+{
+    tx.addRange(meta_, sizeof(Meta));
+    Meta meta = pool_.load<Meta>(meta_);
+    meta.root = node;
+    pool_.store(meta_, meta);
+}
+
+void
+PersistentRbTree::rotateLeft(Transaction &tx, Addr x_addr)
+{
+    const bool log = !faults_.active("rbtree_skip_log_rotation");
+    Node x = getNode(x_addr);
+    const Addr y_addr = x.right;
+    Node y = getNode(y_addr);
+
+    x.right = y.left;
+    if (y.left) {
+        Node yl = getNode(y.left);
+        yl.parent = x_addr;
+        putNode(tx, y.left, yl, log);
+    }
+    y.parent = x.parent;
+    if (!x.parent) {
+        setRoot(tx, y_addr);
+    } else {
+        Node p = getNode(x.parent);
+        if (p.left == x_addr)
+            p.left = y_addr;
+        else
+            p.right = y_addr;
+        putNode(tx, x.parent, p, log);
+    }
+    y.left = x_addr;
+    x.parent = y_addr;
+    putNode(tx, x_addr, x, log);
+    putNode(tx, y_addr, y, log);
+}
+
+void
+PersistentRbTree::rotateRight(Transaction &tx, Addr x_addr)
+{
+    const bool log = !faults_.active("rbtree_skip_log_rotation");
+    Node x = getNode(x_addr);
+    const Addr y_addr = x.left;
+    Node y = getNode(y_addr);
+
+    x.left = y.right;
+    if (y.right) {
+        Node yr = getNode(y.right);
+        yr.parent = x_addr;
+        putNode(tx, y.right, yr, log);
+    }
+    y.parent = x.parent;
+    if (!x.parent) {
+        setRoot(tx, y_addr);
+    } else {
+        Node p = getNode(x.parent);
+        if (p.left == x_addr)
+            p.left = y_addr;
+        else
+            p.right = y_addr;
+        putNode(tx, x.parent, p, log);
+    }
+    y.right = x_addr;
+    x.parent = y_addr;
+    putNode(tx, x_addr, x, log);
+    putNode(tx, y_addr, y, log);
+}
+
+void
+PersistentRbTree::fixInsert(Transaction &tx, Addr z_addr)
+{
+    Node z = getNode(z_addr);
+    while (z.parent) {
+        Node parent = getNode(z.parent);
+        if (parent.color != Red)
+            break;
+        const Addr grand_addr = parent.parent;
+        Node grand = getNode(grand_addr);
+        if (z.parent == grand.left) {
+            const Addr uncle_addr = grand.right;
+            Node uncle{};
+            const bool uncle_red =
+                uncle_addr && (uncle = getNode(uncle_addr)).color == Red;
+            if (uncle_red) {
+                parent.color = Black;
+                uncle.color = Black;
+                grand.color = Red;
+                putNode(tx, z.parent, parent);
+                putNode(tx, uncle_addr, uncle);
+                putNode(tx, grand_addr, grand);
+                z_addr = grand_addr;
+                z = getNode(z_addr);
+            } else {
+                if (z_addr == parent.right) {
+                    z_addr = z.parent;
+                    rotateLeft(tx, z_addr);
+                    z = getNode(z_addr);
+                }
+                Node p2 = getNode(z.parent);
+                p2.color = Black;
+                putNode(tx, z.parent, p2);
+                Node g2 = getNode(p2.parent);
+                g2.color = Red;
+                putNode(tx, p2.parent, g2);
+                rotateRight(tx, p2.parent);
+                z = getNode(z_addr);
+            }
+        } else {
+            const Addr uncle_addr = grand.left;
+            Node uncle{};
+            const bool uncle_red =
+                uncle_addr && (uncle = getNode(uncle_addr)).color == Red;
+            if (uncle_red) {
+                parent.color = Black;
+                uncle.color = Black;
+                grand.color = Red;
+                putNode(tx, z.parent, parent);
+                putNode(tx, uncle_addr, uncle);
+                putNode(tx, grand_addr, grand);
+                z_addr = grand_addr;
+                z = getNode(z_addr);
+            } else {
+                if (z_addr == parent.left) {
+                    z_addr = z.parent;
+                    rotateRight(tx, z_addr);
+                    z = getNode(z_addr);
+                }
+                Node p2 = getNode(z.parent);
+                p2.color = Black;
+                putNode(tx, z.parent, p2);
+                Node g2 = getNode(p2.parent);
+                g2.color = Red;
+                putNode(tx, p2.parent, g2);
+                rotateLeft(tx, p2.parent);
+                z = getNode(z_addr);
+            }
+        }
+    }
+
+    Meta meta = pool_.load<Meta>(meta_);
+    Node root = getNode(meta.root);
+    if (root.color != Black) {
+        root.color = Black;
+        putNode(tx, meta.root, root);
+    }
+}
+
+void
+PersistentRbTree::insert(std::uint64_t key, std::uint64_t value)
+{
+    if (pmtest_)
+        pmtest_->pmTestStart();
+
+    Transaction tx(pool_);
+    tx.begin();
+
+    Meta meta = pool_.load<Meta>(meta_);
+
+    // Standard BST descent.
+    Addr parent = 0;
+    Addr cursor = meta.root;
+    bool went_left = false;
+    while (cursor) {
+        Node node = getNode(cursor);
+        if (node.key == key) {
+            tx.addRange(cursor, sizeof(Node));
+            node.value = value;
+            pool_.store(cursor, node);
+            tx.commit();
+            if (pmtest_)
+                pmtest_->pmTestEnd();
+            return;
+        }
+        parent = cursor;
+        went_left = key < node.key;
+        cursor = went_left ? node.left : node.right;
+    }
+
+    const Addr fresh = tx.alloc(sizeof(Node));
+    Node node{};
+    node.key = key;
+    node.value = value;
+    node.parent = parent;
+    node.color = Red;
+    pool_.store(fresh, node);
+
+    if (!parent) {
+        setRoot(tx, fresh);
+    } else {
+        Node p = getNode(parent);
+        if (went_left)
+            p.left = fresh;
+        else
+            p.right = fresh;
+        putNode(tx, parent, p);
+    }
+
+    fixInsert(tx, fresh);
+
+    tx.addRange(meta_, sizeof(Meta));
+    meta = pool_.load<Meta>(meta_);
+    ++meta.count;
+    pool_.store(meta_, meta);
+
+    tx.commit();
+    if (pmtest_) {
+        pmtest_->isPersist(fresh, sizeof(Node));
+        pmtest_->pmTestEnd();
+    }
+}
+
+std::optional<std::uint64_t>
+PersistentRbTree::lookup(std::uint64_t key) const
+{
+    Addr cursor = pool_.load<Meta>(meta_).root;
+    while (cursor) {
+        const Node node = getNode(cursor);
+        if (node.key == key)
+            return node.value;
+        cursor = key < node.key ? node.left : node.right;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+PersistentRbTree::count() const
+{
+    return pool_.load<Meta>(meta_).count;
+}
+
+int
+PersistentRbTree::validateNode(Addr addr, std::uint64_t lo,
+                               std::uint64_t hi) const
+{
+    if (!addr)
+        return 1;
+    const Node node = getNode(addr);
+    if (node.key < lo || node.key > hi)
+        panic("rbtree: BST order violated");
+    if (node.color == Red) {
+        if (node.left && getNode(node.left).color == Red)
+            panic("rbtree: red node with red left child");
+        if (node.right && getNode(node.right).color == Red)
+            panic("rbtree: red node with red right child");
+    }
+    const std::uint64_t key = node.key;
+    const int lh = validateNode(node.left, lo, key ? key - 1 : 0);
+    const int rh = validateNode(node.right, key + 1, hi);
+    if (lh != rh)
+        panic("rbtree: black height mismatch");
+    return lh + (node.color == Black ? 1 : 0);
+}
+
+int
+PersistentRbTree::validate() const
+{
+    const Meta meta = pool_.load<Meta>(meta_);
+    if (!meta.root)
+        return 0;
+    if (getNode(meta.root).color != Black)
+        panic("rbtree: root is not black");
+    return validateNode(meta.root, 0, ~std::uint64_t(0));
+}
+
+void
+RbTreeWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(16 << 20,
+                                           options.operations * 512);
+    PmemPool pool(runtime, pool_bytes, "rb_tree.pool",
+                  options.trackPersistence);
+    PersistentRbTree tree(pool, options.faults, options.pmtest);
+
+    Rng rng(options.seed);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        tree.insert(rng.next(), i);
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * rb_tree: transactional persistent red-black tree (PMDK example).
+ *
+ * Classic red-black insertion with recoloring/rotations, all node
+ * mutations undo-logged inside one transaction per insert. Rotations
+ * touch several nodes, producing the larger per-epoch store counts the
+ * paper's characterization observes for rb_tree.
+ *
+ * Fault-injection points:
+ *  - "rbtree_skip_log_rotation": rotation pointer updates not logged
+ *    (lack durability in epoch).
+ */
+
+#ifndef PMDB_WORKLOADS_RBTREE_HH
+#define PMDB_WORKLOADS_RBTREE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "pmdk/pool.hh"
+#include "pmdk/tx.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Persistent red-black tree. */
+class PersistentRbTree
+{
+  public:
+    enum Color : std::uint32_t { Red = 0, Black = 1 };
+
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        Addr parent;
+        Addr left;
+        Addr right;
+        std::uint32_t color;
+        std::uint32_t pad;
+    };
+
+    struct Meta
+    {
+        Addr root;
+        std::uint64_t count;
+    };
+
+    PersistentRbTree(PmemPool &pool, const FaultSet &faults,
+                     PmTestDetector *pmtest = nullptr);
+
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+
+    std::uint64_t count() const;
+
+    /** Validate red-black invariants (tests); returns black height. */
+    int validate() const;
+
+  private:
+    Node getNode(Addr addr) const { return pool_.load<Node>(addr); }
+    void putNode(Transaction &tx, Addr addr, const Node &node,
+                 bool log = true);
+    void rotateLeft(Transaction &tx, Addr x_addr);
+    void rotateRight(Transaction &tx, Addr x_addr);
+    void fixInsert(Transaction &tx, Addr z_addr);
+    void setRoot(Transaction &tx, Addr node);
+    int validateNode(Addr addr, std::uint64_t lo, std::uint64_t hi) const;
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    Addr meta_;
+};
+
+/** The rb_tree workload of Table 4. */
+class RbTreeWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "rb_tree"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_RBTREE_HH

@@ -1,0 +1,239 @@
+#include "workloads/redis.hh"
+
+namespace pmdb
+{
+
+MiniRedis::MiniRedis(PmemPool &pool, const FaultSet &faults,
+                     PmTestDetector *pmtest, std::uint64_t max_keys)
+    : pool_(pool), faults_(faults), pmtest_(pmtest), maxKeys_(max_keys),
+      sampleRng_(0xdeadbeefULL)
+{
+    meta_ = pool_.root(sizeof(Meta));
+    pool_.registerVariable("redis.meta", meta_, sizeof(Meta));
+
+    Meta meta = pool_.load<Meta>(meta_);
+    if (meta.buckets == 0) {
+        nBuckets_ = 4096;
+        const Addr buckets = pool_.alloc(nBuckets_ * sizeof(Addr));
+        Transaction tx(pool_);
+        tx.begin();
+        tx.addRange(meta_, sizeof(Meta));
+        meta.buckets = buckets;
+        meta.nBuckets = nBuckets_;
+        meta.count = 0;
+        pool_.store(meta_, meta);
+        tx.commit();
+    } else {
+        nBuckets_ = meta.nBuckets;
+    }
+}
+
+Addr
+MiniRedis::bucketAddr(std::uint64_t bucket) const
+{
+    return pool_.load<Meta>(meta_).buckets + bucket * sizeof(Addr);
+}
+
+void
+MiniRedis::set(std::uint64_t key, std::uint64_t value)
+{
+    if (pmtest_)
+        pmtest_->pmTestStart();
+
+    if (lruClock_.size() >= maxKeys_ && !lruClock_.count(key))
+        evictSampled();
+
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    const Addr slot = bucketAddr(bucket);
+
+    Transaction tx(pool_);
+    tx.begin();
+
+    Addr cursor = pool_.load<Addr>(slot);
+    bool updated = false;
+    while (cursor) {
+        Entry entry = pool_.load<Entry>(cursor);
+        if (entry.key == key) {
+            if (tx.addRange(cursor, sizeof(Entry)) && pmtest_)
+                pmtest_->txChecker(cursor, sizeof(Entry));
+            if (faults_.active("redis_double_log")) {
+                if (tx.addRange(cursor + 8, 8) && pmtest_)
+                    pmtest_->txChecker(cursor + 8, 8);
+            }
+            entry.value = value;
+            pool_.store(cursor, entry);
+            updated = true;
+            break;
+        }
+        cursor = entry.next;
+    }
+
+    if (!updated) {
+        const Addr fresh = tx.alloc(sizeof(Entry));
+        Entry entry{key, value, pool_.load<Addr>(slot)};
+        pool_.store(fresh, entry);
+        if (faults_.active("redis_double_log")) {
+            if (tx.addRange(fresh, 16) && pmtest_)
+                pmtest_->txChecker(fresh, 16);
+            if (tx.addRange(fresh + 8, 8) && pmtest_)
+                pmtest_->txChecker(fresh + 8, 8);
+        }
+
+        if (!faults_.active("redis_skip_log_dict"))
+            tx.addRange(slot, sizeof(Addr));
+        pool_.store<Addr>(slot, fresh);
+
+        tx.addRange(meta_, sizeof(Meta));
+        Meta meta = pool_.load<Meta>(meta_);
+        ++meta.count;
+        pool_.store(meta_, meta);
+    }
+
+    if (faults_.active("redis_persist_in_tx")) {
+        // Redundant fence inside the epoch (the Figure 9b pattern).
+        pool_.persist(slot, sizeof(Addr));
+    }
+
+    tx.commit();
+
+    if (!lruClock_.count(key)) {
+        keyPos_[key] = keyList_.size();
+        keyList_.push_back(key);
+    }
+    lruClock_[key] = ++tick_;
+
+    if (pmtest_) {
+        pmtest_->isPersist(slot, sizeof(Addr));
+        pmtest_->pmTestEnd();
+    }
+}
+
+std::optional<std::uint64_t>
+MiniRedis::get(std::uint64_t key)
+{
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    Addr cursor = pool_.load<Addr>(bucketAddr(bucket));
+    while (cursor) {
+        const Entry entry = pool_.load<Entry>(cursor);
+        if (entry.key == key) {
+            lruClock_[key] = ++tick_;
+            return entry.value;
+        }
+        cursor = entry.next;
+    }
+    return std::nullopt;
+}
+
+void
+MiniRedis::evictSampled()
+{
+    // Redis approximated LRU: sample a handful of keys, evict the one
+    // with the oldest clock.
+    constexpr int samples = 5;
+    std::uint64_t victim = 0;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    bool found = false;
+    for (int i = 0; i < samples && !keyList_.empty(); ++i) {
+        const std::uint64_t key =
+            keyList_[sampleRng_.nextBounded(keyList_.size())];
+        const auto it = lruClock_.find(key);
+        if (it != lruClock_.end() && it->second < oldest) {
+            oldest = it->second;
+            victim = key;
+            found = true;
+        }
+    }
+    if (found)
+        removeKey(victim);
+}
+
+void
+MiniRedis::removeKey(std::uint64_t key)
+{
+    const std::uint64_t bucket = mix64(key) % nBuckets_;
+    const Addr slot = bucketAddr(bucket);
+
+    Transaction tx(pool_);
+    tx.begin();
+
+    Addr freed = 0;
+    Addr prev = 0;
+    Addr cursor = pool_.load<Addr>(slot);
+    while (cursor) {
+        Entry entry = pool_.load<Entry>(cursor);
+        if (entry.key == key) {
+            freed = cursor;
+            if (prev) {
+                tx.addRange(prev + offsetof(Entry, next), sizeof(Addr));
+                pool_.store<Addr>(prev + offsetof(Entry, next),
+                                  entry.next);
+            } else {
+                tx.addRange(slot, sizeof(Addr));
+                pool_.store<Addr>(slot, entry.next);
+            }
+            tx.addRange(meta_, sizeof(Meta));
+            Meta meta = pool_.load<Meta>(meta_);
+            --meta.count;
+            pool_.store(meta_, meta);
+            break;
+        }
+        prev = cursor;
+        cursor = entry.next;
+    }
+
+    tx.commit();
+    // Return the entry to the allocator outside the epoch (its header
+    // update persists with its own fence).
+    if (freed)
+        pool_.freeObj(freed);
+    lruClock_.erase(key);
+    const auto pos = keyPos_.find(key);
+    if (pos != keyPos_.end()) {
+        const std::size_t idx = pos->second;
+        const std::uint64_t last = keyList_.back();
+        keyList_[idx] = last;
+        keyPos_[last] = idx;
+        keyList_.pop_back();
+        keyPos_.erase(pos);
+    }
+    ++evictions_;
+}
+
+std::uint64_t
+MiniRedis::count() const
+{
+    return pool_.load<Meta>(meta_).count;
+}
+
+void
+RedisWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(24 << 20,
+                                           options.operations * 160);
+    PmemPool pool(runtime, pool_bytes, "redis.pool",
+                  options.trackPersistence);
+
+    // The paper's redis-cli LRU test: keys cycle through a space larger
+    // than the eviction budget, forcing steady-state evictions.
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(256, options.operations / 8);
+    MiniRedis redis(pool, options.faults, options.pmtest, budget);
+
+    Rng rng(options.seed);
+    const std::uint64_t key_space =
+        std::max<std::uint64_t>(512, options.operations / 2);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        const std::uint64_t key = rng.nextBounded(key_space);
+        if (rng.nextBool(0.5))
+            redis.set(key, rng.next());
+        else
+            redis.get(key);
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * redis: model of Intel's PM-aware Redis (Table 4's epoch-model real
+ * workload).
+ *
+ * A persistent dict (chained hashing) updated through mini-PMDK
+ * transactions, with redis-style approximated-LRU eviction: when the
+ * key budget is exceeded, a small random sample is taken and the least
+ * recently used sampled key is evicted (Redis's maxmemory-policy
+ * allkeys-lru). The driver reproduces the paper's "LRU test": keys are
+ * inserted and re-accessed until the configured number of keys has
+ * been exercised.
+ *
+ * Fault-injection points:
+ *  - "redis_skip_log_dict":  dict slot update not logged/flushed
+ *                            (lack durability in epoch);
+ *  - "redis_double_log":     entry logged twice (redundant logging);
+ *  - "redis_persist_in_tx":  explicit persist inside the transaction
+ *                            (redundant epoch fence).
+ */
+
+#ifndef PMDB_WORKLOADS_REDIS_HH
+#define PMDB_WORKLOADS_REDIS_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "pmdk/pool.hh"
+#include "pmdk/tx.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Miniature PM Redis: persistent dict + approximated LRU eviction. */
+class MiniRedis
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        Addr next;
+    };
+
+    struct Meta
+    {
+        Addr buckets;
+        std::uint64_t nBuckets;
+        std::uint64_t count;
+    };
+
+    MiniRedis(PmemPool &pool, const FaultSet &faults,
+              PmTestDetector *pmtest = nullptr,
+              std::uint64_t max_keys = 1 << 16);
+
+    /** SET key value (transactional; may trigger an eviction). */
+    void set(std::uint64_t key, std::uint64_t value);
+
+    /** GET key (volatile read; refreshes the LRU clock). */
+    std::optional<std::uint64_t> get(std::uint64_t key);
+
+    std::uint64_t count() const;
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    Addr bucketAddr(std::uint64_t bucket) const;
+    void evictSampled();
+    void removeKey(std::uint64_t key);
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    Addr meta_;
+    std::uint64_t nBuckets_;
+    std::uint64_t maxKeys_;
+    /** Volatile LRU clock per key (Redis keeps this in the robj). */
+    std::unordered_map<std::uint64_t, std::uint64_t> lruClock_;
+    /** Key list for O(1) random sampling (index mirrored in lruPos_). */
+    std::vector<std::uint64_t> keyList_;
+    std::unordered_map<std::uint64_t, std::size_t> keyPos_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+    Rng sampleRng_;
+};
+
+/** The redis workload of Table 4 (LRU-test driver). */
+class RedisWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "redis"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_REDIS_HH

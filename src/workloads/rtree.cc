@@ -1,0 +1,186 @@
+#include "workloads/rtree.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pmdb
+{
+
+PersistentRTree::PersistentRTree(PmemPool &pool, const FaultSet &faults,
+                                 PmTestDetector *pmtest)
+    : pool_(pool), faults_(faults), pmtest_(pmtest)
+{
+    meta_ = pool_.root(sizeof(Meta));
+    pool_.registerVariable("rtree.meta", meta_, sizeof(Meta));
+
+    Meta meta = pool_.load<Meta>(meta_);
+    if (meta.root == 0) {
+        Transaction tx(pool_);
+        tx.begin();
+        const Addr root = tx.alloc(sizeof(Node));
+        tx.addRange(meta_, sizeof(Meta));
+        meta.root = root;
+        meta.count = 0;
+        pool_.store(meta_, meta);
+        tx.commit();
+    }
+}
+
+void
+PersistentRTree::writeSlot(Transaction &tx, Addr node, int slot,
+                           Addr value)
+{
+    const Addr slot_addr = node + slot * sizeof(Addr);
+    if (!faults_.active("rtree_skip_log_slot"))
+        tx.addRange(slot_addr, sizeof(Addr));
+    pool_.store<Addr>(slot_addr, value);
+}
+
+void
+PersistentRTree::insert(std::uint64_t key, std::uint64_t value)
+{
+    if (pmtest_)
+        pmtest_->pmTestStart();
+
+    Transaction tx(pool_);
+    tx.begin();
+
+    Meta meta = pool_.load<Meta>(meta_);
+    Addr node = meta.root;
+    int depth = 0;
+    Addr leaf_written = 0;
+
+    for (;;) {
+        if (depth >= maxDepth)
+            panic("rtree: key nibbles exhausted (duplicate key?)");
+        const int nib = nibbleAt(key, depth);
+        const Addr slot =
+            pool_.load<Addr>(node + nib * sizeof(Addr));
+
+        if (slot == 0) {
+            const Addr leaf = tx.alloc(sizeof(Leaf));
+            pool_.store(leaf, Leaf{key, value});
+            writeSlot(tx, node, nib, leaf | 1);
+            leaf_written = leaf;
+            break;
+        }
+
+        if (!isLeaf(slot)) {
+            node = slot;
+            ++depth;
+            continue;
+        }
+
+        const Addr other_addr = untag(slot);
+        Leaf other = pool_.load<Leaf>(other_addr);
+        if (other.key == key) {
+            // Update in place.
+            tx.addRange(other_addr, sizeof(Leaf));
+            other.value = value;
+            pool_.store(other_addr, other);
+            tx.commit();
+            if (pmtest_)
+                pmtest_->pmTestEnd();
+            return;
+        }
+
+        // Collision: push the existing leaf down one level and retry.
+        const Addr fresh = tx.alloc(sizeof(Node));
+        const int other_nib = nibbleAt(other.key, depth + 1);
+        writeSlot(tx, fresh, other_nib, slot);
+        writeSlot(tx, node, nib, fresh);
+        node = fresh;
+        ++depth;
+    }
+
+    tx.addRange(meta_, sizeof(Meta));
+    meta = pool_.load<Meta>(meta_);
+    ++meta.count;
+    pool_.store(meta_, meta);
+
+    tx.commit();
+    if (pmtest_) {
+        if (leaf_written)
+            pmtest_->isPersist(leaf_written, sizeof(Leaf));
+        pmtest_->pmTestEnd();
+    }
+}
+
+bool
+PersistentRTree::remove(std::uint64_t key)
+{
+    Meta meta = pool_.load<Meta>(meta_);
+    Addr node = meta.root;
+    for (int depth = 0; depth < maxDepth && node; ++depth) {
+        const Addr slot_addr =
+            node + nibbleAt(key, depth) * sizeof(Addr);
+        const Addr slot = pool_.load<Addr>(slot_addr);
+        if (slot == 0)
+            return false;
+        if (isLeaf(slot)) {
+            const Addr leaf_addr = untag(slot);
+            if (pool_.load<Leaf>(leaf_addr).key != key)
+                return false;
+            Transaction tx(pool_);
+            tx.begin();
+            tx.addRange(slot_addr, sizeof(Addr));
+            pool_.store<Addr>(slot_addr, 0);
+            tx.addRange(meta_, sizeof(Meta));
+            --meta.count;
+            pool_.store(meta_, meta);
+            tx.commit();
+            pool_.freeObj(leaf_addr);
+            return true;
+        }
+        node = slot;
+    }
+    return false;
+}
+
+std::optional<std::uint64_t>
+PersistentRTree::lookup(std::uint64_t key) const
+{
+    Addr node = pool_.load<Meta>(meta_).root;
+    for (int depth = 0; depth < maxDepth && node; ++depth) {
+        const Addr slot =
+            pool_.load<Addr>(node + nibbleAt(key, depth) * sizeof(Addr));
+        if (slot == 0)
+            return std::nullopt;
+        if (isLeaf(slot)) {
+            const Leaf leaf = pool_.load<Leaf>(untag(slot));
+            if (leaf.key == key)
+                return leaf.value;
+            return std::nullopt;
+        }
+        node = slot;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+PersistentRTree::count() const
+{
+    return pool_.load<Meta>(meta_).count;
+}
+
+void
+RTreeWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(24 << 20,
+                                           options.operations * 1024);
+    PmemPool pool(runtime, pool_bytes, "r_tree.pool",
+                  options.trackPersistence);
+    PersistentRTree tree(pool, options.faults, options.pmtest);
+
+    Rng rng(options.seed);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        tree.insert(rng.next(), i);
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

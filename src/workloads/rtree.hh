@@ -1,0 +1,99 @@
+/**
+ * @file
+ * r_tree: transactional persistent radix tree (PMDK example).
+ *
+ * A 16-ary radix tree over the key's nibbles (most-significant first)
+ * with leaf-pushing: an edge slot holds either a child node or a
+ * tagged leaf; inserting a colliding leaf expands the path one nibble
+ * at a time. Each insert runs in one transaction.
+ *
+ * Fault-injection points:
+ *  - "rtree_skip_log_slot": slot update not logged/flushed
+ *    (lack durability in epoch).
+ */
+
+#ifndef PMDB_WORKLOADS_RTREE_HH
+#define PMDB_WORKLOADS_RTREE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "pmdk/pool.hh"
+#include "pmdk/tx.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Persistent radix tree. */
+class PersistentRTree
+{
+  public:
+    static constexpr int fanout = 16;
+    static constexpr int maxDepth = 16; // 64-bit key, 4 bits per level
+
+    struct Leaf
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+
+    struct Node
+    {
+        /** Tagged slots: bit 0 set = leaf pointer. */
+        Addr slots[fanout];
+    };
+
+    struct Meta
+    {
+        Addr root;
+        std::uint64_t count;
+    };
+
+    PersistentRTree(PmemPool &pool, const FaultSet &faults,
+                    PmTestDetector *pmtest = nullptr);
+
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    /** Remove @p key (clears its leaf slot); true if present. */
+    bool remove(std::uint64_t key);
+
+    std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+
+    std::uint64_t count() const;
+
+  private:
+    static bool isLeaf(Addr tagged) { return (tagged & 1) != 0; }
+    static Addr untag(Addr tagged) { return tagged & ~Addr(1); }
+
+    static int
+    nibbleAt(std::uint64_t key, int depth)
+    {
+        return static_cast<int>((key >> (60 - 4 * depth)) & 0xf);
+    }
+
+    void writeSlot(Transaction &tx, Addr node, int slot, Addr value);
+
+    PmemPool &pool_;
+    const FaultSet &faults_;
+    PmTestDetector *pmtest_;
+    Addr meta_;
+};
+
+/** The r_tree workload of Table 4. */
+class RTreeWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "r_tree"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_RTREE_HH

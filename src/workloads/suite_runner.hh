@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Harness that runs bug-suite cases against the four detectors and
+ * records who detected what — the machinery behind Table 6 and the
+ * false-negative/false-positive rates of Section 7.3.
+ */
+
+#ifndef PMDB_WORKLOADS_SUITE_RUNNER_HH
+#define PMDB_WORKLOADS_SUITE_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/bug_suite.hh"
+
+namespace pmdb
+{
+
+/** Result of one case under one detector. */
+struct CaseOutcome
+{
+    /** The expected bug type was reported. */
+    bool detected = false;
+    /** Any bug was reported on the correct variant (false positive). */
+    bool falsePositive = false;
+};
+
+/** Per-detector aggregate over the suite. */
+struct SuiteScore
+{
+    std::string detector;
+    int detected = 0;
+    int missed = 0;
+    int falsePositives = 0;
+    /** Bug types with at least one detected case. */
+    int typesDetected = 0;
+
+    double
+    falseNegativeRate(int total_cases) const
+    {
+        return total_cases
+                   ? 100.0 * static_cast<double>(missed) / total_cases
+                   : 0.0;
+    }
+};
+
+/**
+ * Run one case under one detector.
+ *
+ * @param check_false_positive also run the correct variant and record
+ *        whether the detector reports anything on it.
+ */
+CaseOutcome runCase(const BugCase &bug_case, const std::string &detector,
+                    bool check_false_positive = false);
+
+/** Detection matrix: matrix[detector][case id] = outcome. */
+using SuiteMatrix =
+    std::map<std::string, std::map<int, CaseOutcome>>;
+
+/**
+ * Run the full suite under the given detectors. With
+ * @p check_false_positives the correct variant of every case also runs
+ * (doubling the work).
+ */
+SuiteMatrix runSuite(const std::vector<std::string> &detectors,
+                     bool check_false_positives = false);
+
+/** Aggregate a matrix into per-detector scores. */
+std::vector<SuiteScore> scoreSuite(const SuiteMatrix &matrix);
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_SUITE_RUNNER_HH

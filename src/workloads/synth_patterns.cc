@@ -1,0 +1,124 @@
+#include "workloads/synth_patterns.hh"
+
+#include "common/logging.hh"
+
+namespace pmdb
+{
+
+PatternGenerator::PatternGenerator(PmemPool &pool, PatternParams params,
+                                   std::uint64_t seed,
+                                   std::size_t region_slots)
+    : pool_(pool), params_(params), rng_(seed), slots_(region_slots)
+{
+    if (params_.storesPerOp < 1 || params_.storesPerOp > 8)
+        fatal("PatternGenerator: storesPerOp must be in [1, 8]");
+    if (slots_ < 64)
+        fatal("PatternGenerator: need at least 64 region slots");
+    region_ = pool_.alloc(slots_ * slotBytes());
+}
+
+int
+PatternGenerator::sampleDistance()
+{
+    double total = 0.0;
+    for (double w : params_.distanceWeights)
+        total += w;
+    double draw = rng_.nextDouble() * total;
+    for (int d = 0; d < 6; ++d) {
+        draw -= params_.distanceWeights[d];
+        if (draw <= 0.0)
+            return d + 1; // bucket 6 means "> 5": realised as 7
+    }
+    return 6;
+}
+
+void
+PatternGenerator::operation()
+{
+    const Addr slot = region_ + (next_ % slots_) * slotBytes();
+    ++next_;
+
+    const bool collective = rng_.nextBool(params_.collectiveRatio);
+    int distance = sampleDistance();
+    if (distance == 6)
+        distance = 7; // the "> 5" bucket
+
+    // Issue the operation's stores: all in one line (collective) or
+    // one per line (dispersed).
+    std::vector<AddrRange> lines;
+    for (int i = 0; i < params_.storesPerOp; ++i) {
+        const Addr addr = collective
+                              ? slot + static_cast<Addr>(i) * 8
+                              : slot + static_cast<Addr>(i) * 64;
+        pool_.store<std::uint64_t>(addr, next_ * 8 + i);
+        const Addr line = cacheLineBase(addr);
+        if (lines.empty() || lines.back().start != line)
+            lines.push_back(AddrRange(line, line + cacheLineSize));
+    }
+
+    // Deferred CLFs whose delay has elapsed are issued before this
+    // operation's fence, making their durability distance exact.
+    std::size_t kept = 0;
+    for (Deferred &entry : deferred_) {
+        if (--entry.fencesLeft <= 0) {
+            pool_.flush(entry.addr, entry.size);
+        } else {
+            deferred_[kept++] = entry;
+        }
+    }
+    deferred_.resize(kept);
+
+    if (distance == 1) {
+        for (const AddrRange &line : lines)
+            pool_.flush(line.start, cacheLineSize);
+    } else {
+        for (const AddrRange &line : lines) {
+            deferred_.push_back(
+                {line.start, static_cast<std::uint32_t>(cacheLineSize),
+                 distance - 1});
+        }
+    }
+
+    pool_.fence();
+}
+
+void
+PatternGenerator::drain()
+{
+    for (const Deferred &entry : deferred_)
+        pool_.flush(entry.addr, entry.size);
+    deferred_.clear();
+    pool_.fence();
+}
+
+std::size_t
+PatternGenerator::slotBytes() const
+{
+    return static_cast<std::size_t>(params_.storesPerOp) * 64;
+}
+
+void
+SynthPatternsWorkload::run(PmRuntime &runtime,
+                           const WorkloadOptions &options)
+{
+    PatternParams params; // Figure 2-like defaults
+    const std::size_t slots =
+        std::min<std::size_t>(8192, std::max<std::size_t>(
+                                        64, options.operations));
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0) {
+        pool_bytes = std::max<std::size_t>(
+            8 << 20, slots * params.storesPerOp * 64 * 2);
+    }
+    PmemPool pool(runtime, pool_bytes, "synth_patterns.pool",
+                  options.trackPersistence);
+    PatternGenerator generator(pool, params, options.seed, slots);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        generator.operation();
+    }
+    generator.drain();
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * synth_patterns: a parameterized PM-pattern generator.
+ *
+ * The paper's characterization (Section 3) motivates PMDebugger's
+ * design with three measurable properties of PM programs: the
+ * store→durability-fence distance distribution, the fraction of
+ * collective writebacks, and the instruction mix. This workload
+ * *generates* streams with configurable values of exactly those
+ * properties, which serves three purposes:
+ *
+ *  - property-testing the characterization tool (generate with known
+ *    parameters, measure, compare);
+ *  - sweeping the pattern space in benchmarks (how does each
+ *    detector's cost move as the paper's patterns degrade?);
+ *  - standing in for the WHISPER suite's diversity of PM idioms,
+ *    which the paper also characterizes.
+ */
+
+#ifndef PMDB_WORKLOADS_SYNTH_PATTERNS_HH
+#define PMDB_WORKLOADS_SYNTH_PATTERNS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+#include "pmdk/pool.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Parameters controlling the generated PM pattern. */
+struct PatternParams
+{
+    /**
+     * Probability that an operation's stores target one cache line
+     * (collective writeback) rather than several (dispersed).
+     */
+    double collectiveRatio = 0.8;
+
+    /** Stores per operation (controls the instruction mix). */
+    int storesPerOp = 4;
+
+    /**
+     * Probability weights of the store→fence distance buckets 1..5
+     * and >5. Distance d is realised by deferring the CLF for the
+     * operation's stores across d-1 later fences.
+     */
+    std::array<double, 6> distanceWeights = {0.85, 0.05, 0.04,
+                                             0.02,  0.02, 0.02};
+};
+
+/**
+ * Generates the configured pattern against a pool. Exposed as a class
+ * so tests and benches can drive it directly with custom parameters.
+ */
+class PatternGenerator
+{
+  public:
+    PatternGenerator(PmemPool &pool, PatternParams params,
+                     std::uint64_t seed, std::size_t region_slots);
+
+    /** Emit one operation (stores now, CLF after the chosen delay). */
+    void operation();
+
+    /** Flush and fence everything still deferred. */
+    void drain();
+
+  private:
+    struct Deferred
+    {
+        Addr addr = 0;
+        std::uint32_t size = 0;
+        /** Remaining fences before this range's CLF is issued. */
+        int fencesLeft = 0;
+    };
+
+    int sampleDistance();
+    std::size_t slotBytes() const;
+
+    PmemPool &pool_;
+    PatternParams params_;
+    Rng rng_;
+    Addr region_;
+    std::size_t slots_;
+    std::size_t next_ = 0;
+    std::vector<Deferred> deferred_;
+};
+
+/** The synth_patterns workload (defaults approximate Figure 2). */
+class SynthPatternsWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "synth_patterns"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Epoch;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_SYNTH_PATTERNS_HH

@@ -1,0 +1,150 @@
+#include "workloads/synth_strand.hh"
+
+#include "common/rng.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+/**
+ * A strand-local node store mimicking the write pattern of a tree
+ * insert: write a node (several stores to one line), flush it, persist
+ * barrier; occasionally also update a parent slot first.
+ */
+class StrandTree
+{
+  public:
+    StrandTree(PmemPool &pool, Addr region, std::size_t capacity,
+               PmTestDetector *pmtest)
+        : pool_(pool), region_(region), capacity_(capacity),
+          pmtest_(pmtest)
+    {
+    }
+
+    void
+    insert(std::uint64_t key, std::uint64_t value, bool barrier)
+    {
+        if (pmtest_)
+            pmtest_->pmTestStart();
+        const Addr node =
+            region_ + (next_ % capacity_) * nodeBytes;
+        ++next_;
+        pool_.store<std::uint64_t>(node, key);
+        pool_.store<std::uint64_t>(node + 8, value);
+        pool_.store<std::uint64_t>(node + 16, next_);
+        pool_.flush(node, 24);
+        if (barrier)
+            pool_.fence(); // persist barrier within the strand
+
+        // Every few inserts, update the "parent" slot of the previous
+        // node, ordered behind the node by another barrier.
+        if (next_ % 4 == 0 && next_ >= 2) {
+            const Addr parent =
+                region_ + ((next_ - 2) % capacity_) * nodeBytes + 24;
+            pool_.store<std::uint64_t>(parent, next_);
+            if (barrier) {
+                pool_.flush(parent, 8);
+                pool_.fence();
+            }
+            // With the barrier omitted the parent slot is never even
+            // flushed: a durability bug that survives JoinStrand.
+            if (pmtest_)
+                pmtest_->isPersist(parent, 8);
+        }
+        if (pmtest_) {
+            pmtest_->isPersist(node, 24);
+            pmtest_->pmTestEnd();
+        }
+    }
+
+  private:
+    static constexpr std::size_t nodeBytes = 64;
+
+    PmemPool &pool_;
+    Addr region_;
+    std::size_t capacity_;
+    PmTestDetector *pmtest_;
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+void
+SynthStrandWorkload::run(PmRuntime &runtime,
+                         const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(16 << 20,
+                                           options.operations * 192);
+    PmemPool pool(runtime, pool_bytes, "synth_strand.pool",
+                  options.trackPersistence);
+
+    // Two independent regions, one per strand, plus the shared
+    // ordering-contract variables A and B.
+    const std::size_t per_strand =
+        std::max<std::size_t>(1024, options.operations);
+    const Addr region0 = pool.alloc(per_strand * 64);
+    const Addr region1 = pool.alloc(per_strand * 64);
+    const Addr shared = pool.alloc(128);
+    pool.registerVariable("synth_strand.A", shared, 8);
+    pool.registerVariable("synth_strand.B", shared + 64, 8);
+
+    StrandTree tree0(pool, region0, per_strand, options.pmtest);
+    StrandTree tree1(pool, region1, per_strand, options.pmtest);
+
+    const bool missing_barrier =
+        options.faults.active("strand_missing_barrier");
+    const bool cross_persist =
+        options.faults.active("strand_cross_persist");
+
+    Rng rng(options.seed);
+    constexpr std::size_t batch = 64;
+    std::size_t done = 0;
+    while (done < options.operations) {
+        const std::size_t n =
+            std::min(batch, options.operations - done);
+
+        // Strand 0: b_tree-like inserts; also writes A then B with the
+        // required A-before-B persist order.
+        runtime.strandBegin(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            runtime.appOp();
+            tree0.insert(rng.next(), done + i, !missing_barrier);
+        }
+        pool.store<std::uint64_t>(shared, done);          // A
+        pool.flush(shared, 8);
+        pool.fence();
+        pool.store<std::uint64_t>(shared + 64, done);     // B
+        pool.flush(shared + 64, 8);
+        pool.fence();
+        runtime.strandEnd(0);
+
+        // Strand 1: c_tree-like inserts; the injected bug persists B
+        // from this strand while strand 0's A of the next batch is
+        // still in flight (Figure 7b).
+        runtime.strandBegin(1);
+        for (std::size_t i = 0; i < n; ++i) {
+            runtime.appOp();
+            tree1.insert(rng.next(), done + i, !missing_barrier);
+        }
+        if (cross_persist) {
+            pool.store<std::uint64_t>(shared, done + 1);  // strand-0 duty
+            pool.store<std::uint64_t>(shared + 64, done + 1); // B again
+            pool.flush(shared + 64, 8); // persists B while A is dirty
+            pool.fence();
+            pool.flush(shared, 8);
+            pool.fence();
+        }
+        runtime.strandEnd(1);
+
+        runtime.joinStrand();
+        done += n;
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

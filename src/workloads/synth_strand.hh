@@ -1,0 +1,54 @@
+/**
+ * @file
+ * synth_strand: synthetic strand-persistency benchmark (Table 4).
+ *
+ * No shipping hardware supports strand persistency, so — like the
+ * paper — we synthesize a workload: two index structures (a B-tree-like
+ * and a crit-bit-like node store, after the paper's b_tree + c_tree
+ * pairing) are updated in two independent strands. Within a strand,
+ * updates are ordered with persist barriers; the strands are mutually
+ * unordered except at explicit JoinStrand points between batches.
+ *
+ * Fault-injection points:
+ *  - "strand_cross_persist":  strand 1 flushes a location whose
+ *                             ordering contract requires strand 0 to
+ *                             persist another location first
+ *                             (lack ordering in strands, Figure 7b);
+ *  - "strand_missing_barrier": a strand omits its persist barrier
+ *                             (no durability).
+ */
+
+#ifndef PMDB_WORKLOADS_SYNTH_STRAND_HH
+#define PMDB_WORKLOADS_SYNTH_STRAND_HH
+
+#include "pmdk/pool.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** The synth_strand workload of Table 4. */
+class SynthStrandWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "synth_strand"; }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Strand;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+
+    std::string
+    orderSpecText() const override
+    {
+        // Shared contract: A (strand 0's header) must persist before B
+        // (the shared publication slot).
+        return "persist_before synth_strand.A synth_strand.B\n";
+    }
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_SYNTH_STRAND_HH

@@ -1,0 +1,66 @@
+#include "workloads/workload.hh"
+
+#include "workloads/btree.hh"
+#include "workloads/ctree.hh"
+#include "workloads/hashmap_atomic.hh"
+#include "workloads/hashmap_tx.hh"
+#include "workloads/memcached.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/redis.hh"
+#include "workloads/rtree.hh"
+#include "workloads/synth_patterns.hh"
+#include "workloads/synth_strand.hh"
+#include "workloads/ycsb.hh"
+
+namespace pmdb
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"b_tree",       "c_tree",         "r_tree",
+            "rb_tree",      "hashmap_tx",     "hashmap_atomic",
+            "synth_strand", "synth_patterns", "memcached",
+            "redis",
+            "ycsb_a",       "ycsb_b",         "ycsb_c",
+            "ycsb_d",       "ycsb_e",         "ycsb_f"};
+}
+
+std::vector<std::string>
+microBenchmarkNames()
+{
+    return {"b_tree",     "c_tree",         "r_tree",      "rb_tree",
+            "hashmap_tx", "hashmap_atomic", "synth_strand"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "b_tree")
+        return std::make_unique<BTreeWorkload>();
+    if (name == "c_tree")
+        return std::make_unique<CTreeWorkload>();
+    if (name == "r_tree")
+        return std::make_unique<RTreeWorkload>();
+    if (name == "rb_tree")
+        return std::make_unique<RbTreeWorkload>();
+    if (name == "hashmap_tx")
+        return std::make_unique<HashmapTxWorkload>();
+    if (name == "hashmap_atomic")
+        return std::make_unique<HashmapAtomicWorkload>();
+    if (name == "synth_strand")
+        return std::make_unique<SynthStrandWorkload>();
+    if (name == "synth_patterns")
+        return std::make_unique<SynthPatternsWorkload>();
+    if (name == "memcached")
+        return std::make_unique<MemcachedWorkload>();
+    if (name == "redis")
+        return std::make_unique<RedisWorkload>();
+    if (name.size() == 6 && name.rfind("ycsb_", 0) == 0 &&
+        name[5] >= 'a' && name[5] <= 'f') {
+        return std::make_unique<YcsbWorkload>(name[5]);
+    }
+    return nullptr;
+}
+
+} // namespace pmdb

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * The evaluation workloads of Table 4, reimplemented on the mini-PMDK /
+ * instrumentation substrate: six PMDK example programs (b_tree, c_tree,
+ * r_tree, rb_tree, hashmap_tx, hashmap_atomic), the synthetic strand
+ * benchmark, and two real-workload models (memcached, redis). Each
+ * workload issues every persistent-memory operation through the
+ * PmRuntime instrumentation layer, so attached detectors observe the
+ * complete store/CLF/fence stream.
+ */
+
+#ifndef PMDB_WORKLOADS_WORKLOAD_HH
+#define PMDB_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "detectors/pmtest.hh"
+#include "trace/runtime.hh"
+
+namespace pmdb
+{
+
+/**
+ * Named fault-injection switches. Workloads expose injection points
+ * (e.g. "skip_value_flush"); the bug suite enables them to reproduce
+ * specific bug cases. An empty set runs the correct program.
+ */
+class FaultSet
+{
+  public:
+    FaultSet() = default;
+
+    FaultSet(std::initializer_list<std::string> faults)
+        : faults_(faults)
+    {
+    }
+
+    void enable(const std::string &fault) { faults_.insert(fault); }
+
+    bool active(const std::string &fault) const
+    {
+        return faults_.count(fault) != 0;
+    }
+
+    bool empty() const { return faults_.empty(); }
+
+  private:
+    std::set<std::string> faults_;
+};
+
+/** Options shared by all workloads. */
+struct WorkloadOptions
+{
+    /** Number of operations (insertions / requests) to perform. */
+    std::size_t operations = 1000;
+
+    /** Deterministic seed for keys/values. */
+    std::uint64_t seed = 42;
+
+    /** Active fault injections (empty = correct program). */
+    FaultSet faults;
+
+    /**
+     * PMTest annotation hooks: when non-null, workloads bracket their
+     * operations with PMTest_START/END and issue the checkers the
+     * PMTest developers added to these benchmarks (Section 7.3).
+     */
+    PmTestDetector *pmtest = nullptr;
+
+    /** Pool size in bytes (0 = workload picks a default). */
+    std::size_t poolBytes = 0;
+
+    /** memcached: number of driver threads (Figure 10). */
+    int threads = 1;
+
+    /** memcached: fraction of set operations (memslap default 5%). */
+    double setRatio = 0.05;
+
+    /** memcached/redis: item capacity before eviction (0 = default). */
+    std::size_t cacheCapacity = 0;
+
+    /**
+     * Attach the simulated device's persistence-domain tracking.
+     * Performance benchmarks disable it (real PM hardware does this
+     * for free); correctness and crash tests keep it on.
+     */
+    bool trackPersistence = true;
+};
+
+/** A runnable evaluation workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** The persistency model the workload follows (Table 4). */
+    virtual PersistencyModel model() const = 0;
+
+    /** Run the workload against @p runtime. */
+    virtual void run(PmRuntime &runtime,
+                     const WorkloadOptions &options) = 0;
+
+    /**
+     * Order-spec text this workload ships for its watched variables
+     * (empty if none). Passed to detectors that take ordering config.
+     */
+    virtual std::string orderSpecText() const { return {}; }
+};
+
+/** Names of all registered workloads. */
+std::vector<std::string> workloadNames();
+
+/** Build a workload by name; nullptr for unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** The seven micro-benchmarks of Table 4 (Fig 8 a-g order). */
+std::vector<std::string> microBenchmarkNames();
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,116 @@
+#include "workloads/ycsb.hh"
+
+#include "common/logging.hh"
+#include "pmdk/pool.hh"
+#include "workloads/memcached.hh"
+
+namespace pmdb
+{
+
+YcsbGenerator::YcsbGenerator(char load, std::uint64_t record_count,
+                             std::uint64_t seed)
+    : load_(load), records_(record_count), insertCursor_(record_count),
+      zipf_(record_count, seed), rng_(seed ^ 0xabcdULL)
+{
+    if (load < 'a' || load > 'f')
+        fatal("YcsbGenerator: load must be 'a'..'f'");
+}
+
+YcsbOp
+YcsbGenerator::next()
+{
+    YcsbOp op;
+    op.scanLength = 0;
+    const double p = rng_.nextDouble();
+
+    switch (load_) {
+      case 'a':
+        op.kind = p < 0.5 ? YcsbOp::Read : YcsbOp::Update;
+        op.key = zipf_.next();
+        break;
+      case 'b':
+        op.kind = p < 0.95 ? YcsbOp::Read : YcsbOp::Update;
+        op.key = zipf_.next();
+        break;
+      case 'c':
+        op.kind = YcsbOp::Read;
+        op.key = zipf_.next();
+        break;
+      case 'd':
+        if (p < 0.95) {
+            // Read latest: skew toward recently inserted keys.
+            op.kind = YcsbOp::Read;
+            const std::uint64_t back = zipf_.next() % records_;
+            op.key = insertCursor_ > back ? insertCursor_ - back - 1 : 0;
+        } else {
+            op.kind = YcsbOp::Insert;
+            op.key = insertCursor_++;
+        }
+        break;
+      case 'e':
+        if (p < 0.95) {
+            op.kind = YcsbOp::Scan;
+            op.key = zipf_.next();
+            op.scanLength =
+                1 + static_cast<int>(rng_.nextBounded(100));
+        } else {
+            op.kind = YcsbOp::Insert;
+            op.key = insertCursor_++;
+        }
+        break;
+      case 'f':
+      default:
+        op.kind = p < 0.5 ? YcsbOp::Read : YcsbOp::ReadModifyWrite;
+        op.key = zipf_.next();
+        break;
+    }
+    return op;
+}
+
+void
+YcsbWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
+{
+    std::size_t pool_bytes = options.poolBytes;
+    if (pool_bytes == 0)
+        pool_bytes = std::max<std::size_t>(32 << 20,
+                                           options.operations * 96);
+    PmemPool pool(runtime, pool_bytes, "ycsb.pool",
+                  options.trackPersistence);
+    MiniMemcached cache(pool, options.faults, options.pmtest);
+
+    const std::uint64_t records =
+        std::max<std::uint64_t>(1024, options.operations / 4);
+
+    // Load phase: populate the records.
+    Rng rng(options.seed);
+    for (std::uint64_t key = 0; key < records; ++key)
+        cache.set(key, rng.next());
+
+    // Run phase.
+    YcsbGenerator gen(load_, records, options.seed);
+    for (std::size_t i = 0; i < options.operations; ++i) {
+        runtime.appOp();
+        const YcsbOp op = gen.next();
+        switch (op.kind) {
+          case YcsbOp::Read:
+            cache.get(op.key);
+            break;
+          case YcsbOp::Update:
+          case YcsbOp::Insert:
+            cache.set(op.key, rng.next());
+            break;
+          case YcsbOp::Scan:
+            for (int k = 0; k < op.scanLength; ++k)
+                cache.get(op.key + k);
+            break;
+          case YcsbOp::ReadModifyWrite:
+            cache.get(op.key);
+            cache.set(op.key, rng.next());
+            break;
+        }
+    }
+
+    runtime.programEnd();
+}
+
+} // namespace pmdb

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * YCSB core-workload generator (loads A-F) and a driver that runs them
+ * against the mini-memcached, reproducing the a_YCSB..f_YCSB columns of
+ * the paper's characterization (Figure 2).
+ *
+ * Mixes follow the YCSB core package:
+ *   A: 50% read / 50% update           (update heavy)
+ *   B: 95% read /  5% update           (read mostly)
+ *   C: 100% read                       (read only)
+ *   D: 95% read-latest / 5% insert     (read latest)
+ *   E: 95% scan / 5% insert            (short ranges)
+ *   F: 50% read / 50% read-modify-write
+ * Keys are scrambled-zipfian distributed (theta 0.99).
+ */
+
+#ifndef PMDB_WORKLOADS_YCSB_HH
+#define PMDB_WORKLOADS_YCSB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "trace/runtime.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** One generated YCSB operation. */
+struct YcsbOp
+{
+    enum Kind
+    {
+        Read,
+        Update,
+        Insert,
+        Scan,
+        ReadModifyWrite,
+    };
+
+    Kind kind;
+    std::uint64_t key;
+    /** For Scan: number of consecutive keys. */
+    int scanLength;
+};
+
+/** Generator for one YCSB core load. */
+class YcsbGenerator
+{
+  public:
+    /**
+     * @param load one of 'a'..'f'
+     * @param record_count size of the (logical) key space
+     */
+    YcsbGenerator(char load, std::uint64_t record_count,
+                  std::uint64_t seed = 99);
+
+    YcsbOp next();
+
+    char load() const { return load_; }
+
+  private:
+    char load_;
+    std::uint64_t records_;
+    std::uint64_t insertCursor_;
+    ScrambledZipfianGenerator zipf_;
+    Rng rng_;
+};
+
+/**
+ * YCSB load X against memcached — the workloads named "a_YCSB" ..
+ * "f_YCSB" in Figure 2. The workload name is "ycsb_<load>".
+ */
+class YcsbWorkload : public Workload
+{
+  public:
+    explicit YcsbWorkload(char load) : load_(load)
+    {
+        name_ = std::string("ycsb_") + load_;
+    }
+
+    const char *name() const override { return name_.c_str(); }
+
+    PersistencyModel model() const override
+    {
+        return PersistencyModel::Strict;
+    }
+
+    void run(PmRuntime &runtime, const WorkloadOptions &options) override;
+
+  private:
+    char load_;
+    std::string name_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_WORKLOADS_YCSB_HH

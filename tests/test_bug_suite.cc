@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bug-suite tests: the 78-case composition matches Table 6's "Bug
+ * cases" row, every case is detected by PMDebugger, and the detection
+ * counts / false-negative rates / type coverage of all four tools
+ * reproduce Table 6 exactly (this is the paper's headline capability
+ * result, verified here as a regression test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workloads/bug_suite.hh"
+#include "workloads/suite_runner.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+TEST(BugSuiteTest, CaseCountsMatchTable6)
+{
+    EXPECT_EQ(bugSuite().size(), 78u);
+    EXPECT_EQ(casesOfType(BugType::NoDurability).size(), 44u);
+    EXPECT_EQ(casesOfType(BugType::MultipleOverwrite).size(), 2u);
+    EXPECT_EQ(casesOfType(BugType::NoOrderGuarantee).size(), 4u);
+    EXPECT_EQ(casesOfType(BugType::RedundantFlush).size(), 6u);
+    EXPECT_EQ(casesOfType(BugType::FlushNothing).size(), 3u);
+    EXPECT_EQ(casesOfType(BugType::RedundantLogging).size(), 5u);
+    EXPECT_EQ(casesOfType(BugType::LackDurabilityInEpoch).size(), 4u);
+    EXPECT_EQ(casesOfType(BugType::RedundantEpochFence).size(), 4u);
+    EXPECT_EQ(casesOfType(BugType::LackOrderingInStrands).size(), 2u);
+    EXPECT_EQ(casesOfType(BugType::CrossFailureSemantic).size(), 4u);
+}
+
+TEST(BugSuiteTest, CaseIdsAreUniqueAndNamed)
+{
+    std::set<int> ids;
+    std::set<std::string> names;
+    for (const BugCase &bug_case : bugSuite()) {
+        EXPECT_TRUE(ids.insert(bug_case.id).second);
+        EXPECT_TRUE(names.insert(bug_case.name).second);
+        EXPECT_TRUE(bug_case.scenario != nullptr);
+    }
+}
+
+TEST(BugSuiteTest, PmDebuggerDetectsEveryCase)
+{
+    for (const BugCase &bug_case : bugSuite()) {
+        const CaseOutcome outcome = runCase(bug_case, "pmdebugger");
+        EXPECT_TRUE(outcome.detected)
+            << "case " << bug_case.id << " (" << bug_case.name << ")";
+    }
+}
+
+TEST(BugSuiteTest, NoToolReportsFalsePositives)
+{
+    // Run the correct variant of every case under every tool: the
+    // paper reports zero false positives across the board.
+    const std::vector<std::string> tools = {"pmdebugger", "pmemcheck",
+                                            "pmtest", "xfdetector"};
+    for (const std::string &tool : tools) {
+        for (const BugCase &bug_case : bugSuite()) {
+            const CaseOutcome outcome = runCase(bug_case, tool, true);
+            EXPECT_FALSE(outcome.falsePositive)
+                << tool << " on case " << bug_case.id << " ("
+                << bug_case.name << ")";
+        }
+    }
+}
+
+TEST(BugSuiteTest, DetectionMatrixReproducesTable6)
+{
+    const SuiteMatrix matrix =
+        runSuite({"pmdebugger", "pmemcheck", "pmtest", "xfdetector"});
+    const auto scores = scoreSuite(matrix);
+
+    std::map<std::string, SuiteScore> by_name;
+    for (const SuiteScore &score : scores)
+        by_name[score.detector] = score;
+
+    // Table 6 / Section 7.3: 78 / 65 / 61 / 55 detections,
+    // 10 / 6 / 5 / 4 bug types, FN rates 0 / 16.7 / 21.8 / 29.5 %.
+    EXPECT_EQ(by_name["pmdebugger"].detected, 78);
+    EXPECT_EQ(by_name["pmdebugger"].typesDetected, 10);
+    EXPECT_EQ(by_name["xfdetector"].detected, 65);
+    EXPECT_EQ(by_name["xfdetector"].typesDetected, 6);
+    EXPECT_EQ(by_name["pmtest"].detected, 61);
+    EXPECT_EQ(by_name["pmtest"].typesDetected, 5);
+    EXPECT_EQ(by_name["pmemcheck"].detected, 55);
+    EXPECT_EQ(by_name["pmemcheck"].typesDetected, 4);
+
+    EXPECT_NEAR(by_name["pmdebugger"].falseNegativeRate(78), 0.0, 0.01);
+    EXPECT_NEAR(by_name["xfdetector"].falseNegativeRate(78), 16.7, 0.1);
+    EXPECT_NEAR(by_name["pmtest"].falseNegativeRate(78), 21.8, 0.1);
+    EXPECT_NEAR(by_name["pmemcheck"].falseNegativeRate(78), 29.5, 0.1);
+}
+
+TEST(BugSuiteTest, CapabilityGapsAreTheExpectedOnes)
+{
+    const SuiteMatrix matrix = runSuite({"pmemcheck", "pmtest"});
+
+    // Pmemcheck misses every relaxed-model, ordering, logging and
+    // cross-failure case — and nothing else.
+    for (const BugCase &bug_case : bugSuite()) {
+        const bool pmemcheck_capable =
+            bug_case.expected == BugType::NoDurability ||
+            bug_case.expected == BugType::MultipleOverwrite ||
+            bug_case.expected == BugType::RedundantFlush ||
+            bug_case.expected == BugType::FlushNothing;
+        EXPECT_EQ(matrix.at("pmemcheck").at(bug_case.id).detected,
+                  pmemcheck_capable)
+            << "case " << bug_case.id << " (" << bug_case.name << ")";
+    }
+
+    // PMTest misses exactly the unannotatable types.
+    for (const BugCase &bug_case : bugSuite()) {
+        const bool pmtest_capable =
+            bug_case.pmtestAnnotated &&
+            (bug_case.expected == BugType::NoDurability ||
+             bug_case.expected == BugType::MultipleOverwrite ||
+             bug_case.expected == BugType::NoOrderGuarantee ||
+             bug_case.expected == BugType::RedundantFlush ||
+             bug_case.expected == BugType::RedundantLogging);
+        EXPECT_EQ(matrix.at("pmtest").at(bug_case.id).detected,
+                  pmtest_capable)
+            << "case " << bug_case.id << " (" << bug_case.name << ")";
+    }
+}
+
+TEST(BugSuiteTest, NewBugReproductions)
+{
+    // Section 7.4's three highlighted new bugs, by name.
+    auto find = [](const std::string &name) -> const BugCase * {
+        for (const BugCase &bug_case : bugSuite()) {
+            if (bug_case.name == name)
+                return &bug_case;
+        }
+        return nullptr;
+    };
+
+    // Figure 9a: memcached ITEM_set_cas not persisted.
+    const BugCase *fig9a = find("memcached_bug_1");
+    ASSERT_NE(fig9a, nullptr);
+    EXPECT_TRUE(runCase(*fig9a, "pmdebugger").detected);
+
+    // Figure 9b: PMDK hashmap_atomic redundant epoch fence.
+    const BugCase *fig9b = find("pmdk_create_hashmap_fence");
+    ASSERT_NE(fig9b, nullptr);
+    EXPECT_TRUE(runCase(*fig9b, "pmdebugger").detected);
+    // ... which neither XFDetector nor PMTest can see (Section 7.4).
+    EXPECT_FALSE(runCase(*fig9b, "xfdetector").detected);
+    EXPECT_FALSE(runCase(*fig9b, "pmtest").detected);
+
+    // Figure 9c: PMDK array example, lack durability in epoch.
+    const BugCase *fig9c = find("epoch_unlogged_store");
+    ASSERT_NE(fig9c, nullptr);
+    EXPECT_TRUE(runCase(*fig9c, "pmdebugger").detected);
+}
+
+} // namespace
+} // namespace pmdb

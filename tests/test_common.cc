@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the common utilities: address-range arithmetic,
+ * deterministic RNG, zipfian generators and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+TEST(AddrRangeTest, BasicProperties)
+{
+    const AddrRange r(100, 200);
+    EXPECT_EQ(r.size(), 100u);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_TRUE(r.contains(199));
+    EXPECT_FALSE(r.contains(200));
+    EXPECT_TRUE(AddrRange().empty());
+    EXPECT_EQ(AddrRange::fromSize(64, 64), AddrRange(64, 128));
+}
+
+TEST(AddrRangeTest, OverlapIsSymmetricAndCorrect)
+{
+    const AddrRange a(0, 10);
+    const AddrRange b(5, 15);
+    const AddrRange c(10, 20);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c)); // half-open: [0,10) and [10,20) touch
+    EXPECT_TRUE(a.adjacentOrOverlapping(c));
+    EXPECT_FALSE(a.overlaps(AddrRange()));
+    EXPECT_FALSE(AddrRange().overlaps(a));
+}
+
+TEST(AddrRangeTest, ContainsAndIntersect)
+{
+    const AddrRange big(0, 100);
+    const AddrRange small(10, 20);
+    EXPECT_TRUE(big.contains(small));
+    EXPECT_FALSE(small.contains(big));
+    EXPECT_EQ(big.intersect(small), small);
+    EXPECT_EQ(AddrRange(0, 10).intersect(AddrRange(5, 15)),
+              AddrRange(5, 10));
+    EXPECT_TRUE(AddrRange(0, 5).intersect(AddrRange(10, 15)).empty());
+}
+
+TEST(AddrRangeTest, UnionWith)
+{
+    EXPECT_EQ(AddrRange(0, 10).unionWith(AddrRange(5, 20)),
+              AddrRange(0, 20));
+    EXPECT_EQ(AddrRange().unionWith(AddrRange(3, 7)), AddrRange(3, 7));
+    EXPECT_EQ(AddrRange(3, 7).unionWith(AddrRange()), AddrRange(3, 7));
+}
+
+TEST(CacheLineTest, BaseAndIndex)
+{
+    EXPECT_EQ(cacheLineBase(0), 0u);
+    EXPECT_EQ(cacheLineBase(63), 0u);
+    EXPECT_EQ(cacheLineBase(64), 64u);
+    EXPECT_EQ(cacheLineIndex(127), 1u);
+    EXPECT_EQ(cacheLineIndex(128), 2u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.02);
+}
+
+TEST(ZipfianTest, StaysInRangeAndIsSkewed)
+{
+    ZipfianGenerator zipf(1000, 0.99, 5);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t v = zipf.next();
+        ASSERT_LT(v, 1000u);
+        ++counts[v];
+    }
+    // Rank-0 should be far more popular than the median rank.
+    EXPECT_GT(counts[0], 50 * std::max(1, counts[500]));
+}
+
+TEST(ZipfianTest, ScrambledCoversSpace)
+{
+    ScrambledZipfianGenerator zipf(1000, 5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = zipf.next();
+        ASSERT_LT(v, 1000u);
+        seen.insert(v);
+    }
+    // Scrambling should spread the hot set across the key space.
+    EXPECT_GT(seen.size(), 200u);
+}
+
+TEST(ZipfianTest, LargeKeySpaceConstructsQuickly)
+{
+    ZipfianGenerator zipf(100'000'000ULL, 0.99, 1);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(zipf.next(), 100'000'000ULL);
+}
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTableTest, PadsShortRows)
+{
+    TextTable table;
+    table.setHeader({"a", "b", "c"});
+    table.addRow({"only-one"});
+    EXPECT_NE(table.render().find("only-one"), std::string::npos);
+}
+
+TEST(FormatTest, Helpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtFactor(2.5), "2.5x");
+    EXPECT_EQ(fmtPercent(12.34), "12.3%");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(12), "12");
+}
+
+TEST(Mix64Test, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(mix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+} // namespace
+} // namespace pmdb

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the memory-location array and CLF-interval metadata:
+ * append/interval bookkeeping, collective flush and invalidation,
+ * partial-flush splitting, fence re-distribution and overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mem_array.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+LocationRecord
+rec(Addr start, Addr end, bool epoch = false)
+{
+    static SeqNum seq = 1;
+    return LocationRecord(AddrRange(start, end), FlushState::NotFlushed,
+                          epoch, seq++);
+}
+
+TEST(MemArrayTest, AppendOpensAndExtendsInterval)
+{
+    MemoryLocationArray array(16);
+    EXPECT_TRUE(array.append(rec(0, 8)));
+    EXPECT_TRUE(array.append(rec(32, 40)));
+    ASSERT_EQ(array.intervals().size(), 1u);
+    const ClfIntervalMeta &meta = array.intervals()[0];
+    EXPECT_EQ(meta.startIdx, 0u);
+    EXPECT_EQ(meta.endIdx, 2u);
+    EXPECT_EQ(meta.bounds, AddrRange(0, 40));
+    EXPECT_EQ(meta.state, IntervalFlushState::NotFlushed);
+}
+
+TEST(MemArrayTest, FlushClosesIntervalNextStoreOpensNew)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));
+    array.applyFlush(AddrRange(0, 64), tree);
+    array.append(rec(64, 72));
+    ASSERT_EQ(array.intervals().size(), 2u);
+    EXPECT_EQ(array.intervals()[1].startIdx, 1u);
+}
+
+TEST(MemArrayTest, CollectiveFlushIsMetadataOnly)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    // Three stores within one cache line: the collective case.
+    array.append(rec(0, 8));
+    array.append(rec(8, 16));
+    array.append(rec(16, 24));
+    const FlushOutcome outcome =
+        array.applyFlush(AddrRange(0, 64), tree);
+    EXPECT_TRUE(outcome.hitAny);
+    EXPECT_TRUE(outcome.hitUnflushed);
+    EXPECT_EQ(array.intervals()[0].state, IntervalFlushState::AllFlushed);
+    EXPECT_TRUE(tree.empty());
+}
+
+TEST(MemArrayTest, ReflushOfAllFlushedIntervalIsRedundant)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));
+    array.applyFlush(AddrRange(0, 64), tree);
+    const FlushOutcome again = array.applyFlush(AddrRange(0, 64), tree);
+    EXPECT_TRUE(again.hitAny);
+    EXPECT_TRUE(again.hitFlushed);
+    EXPECT_FALSE(again.hitUnflushed);
+}
+
+TEST(MemArrayTest, DispersedFlushMarksRecordsIndividually)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));    // line 0
+    array.append(rec(64, 72));  // line 1
+    const FlushOutcome outcome =
+        array.applyFlush(AddrRange(0, 64), tree);
+    EXPECT_TRUE(outcome.hitUnflushed);
+    EXPECT_EQ(array.intervals()[0].state,
+              IntervalFlushState::PartiallyFlushed);
+
+    int flushed = 0, not_flushed = 0;
+    array.forEachLive([&](const LocationRecord &, FlushState state) {
+        state == FlushState::Flushed ? ++flushed : ++not_flushed;
+    });
+    EXPECT_EQ(flushed, 1);
+    EXPECT_EQ(not_flushed, 1);
+}
+
+TEST(MemArrayTest, PartialRecordSplitSendsUncoveredPiecesToTree)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 192)); // spans 3 lines
+    array.applyFlush(AddrRange(64, 128), tree); // middle line only
+    // Covered middle stays in the array; head and tail go to the tree.
+    EXPECT_EQ(tree.size(), 2u);
+    bool saw_covered = false;
+    array.forEachLive([&](const LocationRecord &r, FlushState state) {
+        if (r.range == AddrRange(64, 128)) {
+            saw_covered = true;
+            EXPECT_EQ(state, FlushState::Flushed);
+        }
+    });
+    EXPECT_TRUE(saw_covered);
+}
+
+TEST(MemArrayTest, FenceCollectivelyInvalidatesAllFlushedIntervals)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));
+    array.append(rec(8, 16));
+    array.applyFlush(AddrRange(0, 64), tree);
+    array.processFence(tree);
+    EXPECT_EQ(array.size(), 0u);
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(array.stats().collectiveInvalidations, 1u);
+    EXPECT_EQ(array.stats().recordsCollectivelyFreed, 2u);
+}
+
+TEST(MemArrayTest, FenceMovesUnflushedRecordsToTree)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));   // will be flushed
+    array.append(rec(64, 72)); // will not
+    array.applyFlush(AddrRange(0, 64), tree);
+    array.processFence(tree);
+    EXPECT_EQ(array.size(), 0u);
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_TRUE(tree.overlapsAny(AddrRange(64, 72)));
+    EXPECT_EQ(array.stats().recordsMovedToTree, 1u);
+    EXPECT_EQ(array.stats().recordsDroppedIndividually, 1u);
+}
+
+TEST(MemArrayTest, ArrayIsReusedAcrossFenceIntervals)
+{
+    MemoryLocationArray array(4);
+    AvlTree tree;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(array.append(rec(i * 64, i * 64 + 8)));
+        ASSERT_TRUE(array.full());
+        array.applyFlush(AddrRange(0, 4 * 64), tree);
+        array.processFence(tree);
+        ASSERT_EQ(array.size(), 0u);
+    }
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(array.stats().maxUsage, 4u);
+}
+
+TEST(MemArrayTest, OverflowRefusesAppend)
+{
+    MemoryLocationArray array(2);
+    EXPECT_TRUE(array.append(rec(0, 8)));
+    EXPECT_TRUE(array.append(rec(8, 16)));
+    EXPECT_FALSE(array.append(rec(16, 24)));
+    array.noteOverflow();
+    EXPECT_EQ(array.stats().overflowStores, 1u);
+}
+
+TEST(MemArrayTest, OverlapQueriesRespectIntervalBounds)
+{
+    MemoryLocationArray array(16);
+    array.append(rec(100, 108));
+    EXPECT_TRUE(array.overlapsAny(AddrRange(104, 106)));
+    EXPECT_FALSE(array.overlapsAny(AddrRange(0, 50)));
+    EXPECT_FALSE(array.overlapsAny(AddrRange(108, 200)));
+}
+
+TEST(MemArrayTest, EpochFlagsClearable)
+{
+    MemoryLocationArray array(16);
+    array.append(rec(0, 8, true));
+    int in_epoch = 0;
+    array.forEachLive([&](const LocationRecord &r, FlushState) {
+        in_epoch += r.inEpoch ? 1 : 0;
+    });
+    EXPECT_EQ(in_epoch, 1);
+    array.clearEpochFlags();
+    in_epoch = 0;
+    array.forEachLive([&](const LocationRecord &r, FlushState) {
+        in_epoch += r.inEpoch ? 1 : 0;
+    });
+    EXPECT_EQ(in_epoch, 0);
+}
+
+TEST(MemArrayTest, CompactSurvivorsKeepsUnflushed)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));
+    array.append(rec(64, 72));
+    array.applyFlush(AddrRange(0, 64), tree);
+    array.compactSurvivors();
+    EXPECT_EQ(array.size(), 1u);
+    EXPECT_TRUE(array.overlapsAny(AddrRange(64, 72)));
+    EXPECT_FALSE(array.overlapsAny(AddrRange(0, 8)));
+    EXPECT_TRUE(tree.empty()); // array-only mode: nothing redistributed
+}
+
+TEST(MemArrayTest, MultipleIntervalsClassifiedIndependently)
+{
+    MemoryLocationArray array(16);
+    AvlTree tree;
+    array.append(rec(0, 8));
+    array.applyFlush(AddrRange(0, 64), tree); // interval 0 all-flushed
+    array.append(rec(64, 72));
+    array.applyFlush(AddrRange(128, 192), tree); // misses interval 1
+    ASSERT_EQ(array.intervals().size(), 2u);
+    EXPECT_EQ(array.intervals()[0].state, IntervalFlushState::AllFlushed);
+    EXPECT_EQ(array.intervals()[1].state, IntervalFlushState::NotFlushed);
+}
+
+} // namespace
+} // namespace pmdb

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Focused unit tests for OrderTracker (the shared durability tracker
+ * behind the two ordering rules) and BugCollector edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bug.hh"
+#include "core/rules.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+Event
+storeEvent(Addr addr, std::uint32_t size, SeqNum seq = 1)
+{
+    Event event;
+    event.kind = EventKind::Store;
+    event.addr = addr;
+    event.size = size;
+    event.seq = seq;
+    return event;
+}
+
+Event
+flushEvent(Addr addr, std::uint32_t size, SeqNum seq = 2)
+{
+    Event event;
+    event.kind = EventKind::Flush;
+    event.addr = addr;
+    event.size = size;
+    event.seq = seq;
+    return event;
+}
+
+class OrderTrackerTest : public ::testing::Test
+{
+  protected:
+    OrderTrackerTest()
+    {
+        OrderSpec spec;
+        spec.add("A", "B");
+        tracker.configure(spec);
+        tracker.onRegister("A", AddrRange(0x100, 0x110));
+        tracker.onRegister("B", AddrRange(0x200, 0x208));
+    }
+
+    OrderTracker tracker;
+};
+
+TEST_F(OrderTrackerTest, ConfigurationInternsPairs)
+{
+    ASSERT_EQ(tracker.pairs().size(), 1u);
+    EXPECT_EQ(tracker.var(tracker.pairs()[0].first).name, "A");
+    EXPECT_EQ(tracker.var(tracker.pairs()[0].second).name, "B");
+    EXPECT_TRUE(tracker.var(0).resolved);
+}
+
+TEST_F(OrderTrackerTest, DurabilityNeedsStoreFlushAndFence)
+{
+    EXPECT_TRUE(tracker.onFence().empty()); // nothing stored yet
+
+    tracker.onStore(storeEvent(0x100, 16));
+    EXPECT_TRUE(tracker.onFence().empty()); // stored, never flushed
+
+    tracker.onFlush(flushEvent(0x100, 16));
+    const auto durable = tracker.onFence();
+    ASSERT_EQ(durable.size(), 1u);
+    EXPECT_EQ(tracker.var(durable[0]).name, "A");
+    EXPECT_TRUE(tracker.var(durable[0]).durable);
+    // No repeat notification on later fences.
+    EXPECT_TRUE(tracker.onFence().empty());
+}
+
+TEST_F(OrderTrackerTest, PartialFlushCoverageIsInsufficient)
+{
+    tracker.onStore(storeEvent(0x100, 16));
+    tracker.onFlush(flushEvent(0x100, 8)); // only half of A
+    EXPECT_TRUE(tracker.onFence().empty());
+    tracker.onFlush(flushEvent(0x108, 8)); // the rest
+    EXPECT_EQ(tracker.onFence().size(), 1u);
+}
+
+TEST_F(OrderTrackerTest, CoverageMergesAdjacentParts)
+{
+    tracker.onStore(storeEvent(0x100, 16));
+    // Three overlapping parts that only together cover the var.
+    tracker.onFlush(flushEvent(0x100, 6));
+    tracker.onFlush(flushEvent(0x104, 6));
+    tracker.onFlush(flushEvent(0x108, 8));
+    EXPECT_EQ(tracker.onFence().size(), 1u);
+}
+
+TEST_F(OrderTrackerTest, RestoreResetsDurability)
+{
+    tracker.onStore(storeEvent(0x100, 16));
+    tracker.onFlush(flushEvent(0x100, 16));
+    ASSERT_EQ(tracker.onFence().size(), 1u);
+
+    // A new store re-dirties the var; it must become durable again
+    // at a later fence index.
+    tracker.onStore(storeEvent(0x100, 4, 9));
+    EXPECT_FALSE(tracker.var(0).durable);
+    tracker.onFlush(flushEvent(0x100, 16, 10));
+    const auto durable = tracker.onFence();
+    ASSERT_EQ(durable.size(), 1u);
+    EXPECT_EQ(tracker.var(durable[0]).durableAtFence,
+              tracker.fenceIndex());
+}
+
+TEST_F(OrderTrackerTest, ReRegistrationRebindsAndResets)
+{
+    tracker.onStore(storeEvent(0x100, 16));
+    tracker.onFlush(flushEvent(0x100, 16));
+    ASSERT_EQ(tracker.onFence().size(), 1u);
+
+    tracker.onRegister("A", AddrRange(0x300, 0x308));
+    EXPECT_FALSE(tracker.var(0).durable);
+    EXPECT_FALSE(tracker.var(0).stored);
+    tracker.onStore(storeEvent(0x300, 8));
+    tracker.onFlush(flushEvent(0x300, 8));
+    EXPECT_EQ(tracker.onFence().size(), 1u);
+}
+
+TEST_F(OrderTrackerTest, UnrelatedAddressesIgnored)
+{
+    tracker.onStore(storeEvent(0x900, 8));
+    tracker.onFlush(flushEvent(0x900, 8));
+    EXPECT_TRUE(tracker.onFence().empty());
+    EXPECT_FALSE(tracker.var(0).stored);
+}
+
+TEST(BugCollectorTest, DedupKeyIsTypePlusRange)
+{
+    BugCollector bugs;
+    BugReport a;
+    a.type = BugType::RedundantFlush;
+    a.range = AddrRange(0, 64);
+    EXPECT_TRUE(bugs.report(a));
+    EXPECT_FALSE(bugs.report(a)); // same site
+    a.range = AddrRange(64, 128);
+    EXPECT_TRUE(bugs.report(a)); // different range
+    a.type = BugType::FlushNothing;
+    EXPECT_TRUE(bugs.report(a)); // different type, same range
+    EXPECT_EQ(bugs.total(), 3u);
+    EXPECT_EQ(bugs.occurrences(), 4u);
+}
+
+TEST(BugCollectorTest, ClearResetsEverything)
+{
+    BugCollector bugs;
+    BugReport report;
+    report.type = BugType::NoDurability;
+    report.range = AddrRange(0, 8);
+    bugs.report(report);
+    bugs.clear();
+    EXPECT_EQ(bugs.total(), 0u);
+    EXPECT_EQ(bugs.occurrences(), 0u);
+    EXPECT_TRUE(bugs.report(report)); // site map was cleared too
+}
+
+TEST(BugCollectorTest, SummaryListsTypesAndSites)
+{
+    BugCollector bugs;
+    BugReport report;
+    report.type = BugType::MultipleOverwrite;
+    report.range = AddrRange(16, 24);
+    report.detail = "twice";
+    bugs.report(report);
+    const std::string summary = bugs.summary();
+    EXPECT_NE(summary.find("multiple-overwrite"), std::string::npos);
+    EXPECT_NE(summary.find("twice"), std::string::npos);
+    EXPECT_NE(summary.find("1 unique site"), std::string::npos);
+}
+
+TEST(BugReportTest, ToStringIncludesCause)
+{
+    BugReport report;
+    report.type = BugType::NoDurability;
+    report.range = AddrRange(0x40, 0x48);
+    report.cause = DurabilityCause::MissingFence;
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("no-durability"), std::string::npos);
+    EXPECT_NE(text.find("missing fence"), std::string::npos);
+    EXPECT_NE(text.find("0x40"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmdb

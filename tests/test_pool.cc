@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the mini-PMDK pool: allocation alignment and reuse,
+ * the root object, instrumented persist primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmdk/pool.hh"
+#include "trace/recorder.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+class PoolTest : public ::testing::Test
+{
+  protected:
+    PoolTest() : pool(runtime, 4 << 20, "test.pool") {}
+
+    PmRuntime runtime;
+    PmemPool pool;
+};
+
+TEST_F(PoolTest, AllocReturnsCacheLineAlignedZeroedMemory)
+{
+    const Addr a = pool.alloc(100);
+    const Addr b = pool.alloc(100);
+    EXPECT_EQ(a % cacheLineSize, 0u);
+    EXPECT_EQ(b % cacheLineSize, 0u);
+    EXPECT_NE(a, b);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(pool.load<std::uint8_t>(a + i), 0u);
+}
+
+TEST_F(PoolTest, AllocationsAreImmediatelyDurable)
+{
+    const Addr a = pool.alloc(64);
+    EXPECT_TRUE(pool.device().isDurable(AddrRange::fromSize(a, 64)));
+}
+
+TEST_F(PoolTest, FreeAndReuseSameSizeClass)
+{
+    const Addr a = pool.alloc(64);
+    const std::size_t used = pool.heapUsed();
+    pool.freeObj(a);
+    EXPECT_LT(pool.heapUsed(), used);
+    const Addr b = pool.alloc(64);
+    EXPECT_EQ(a, b); // free list reuse
+}
+
+TEST_F(PoolTest, DoubleFreePanics)
+{
+    const Addr a = pool.alloc(64);
+    pool.freeObj(a);
+    EXPECT_DEATH(pool.freeObj(a), "double free");
+}
+
+TEST_F(PoolTest, RootIsStableAndSized)
+{
+    const Addr root = pool.root(256);
+    EXPECT_EQ(root, pool.root(256));
+    EXPECT_EQ(root, pool.root(16)); // smaller re-request is fine
+    // The heap must not collide with the root object.
+    const Addr a = pool.alloc(64);
+    EXPECT_GE(a, root + 256);
+}
+
+TEST_F(PoolTest, StoreAndLoadRoundTrip)
+{
+    const Addr a = pool.alloc(64);
+    pool.store<std::uint64_t>(a, 0xdeadbeef);
+    EXPECT_EQ(pool.load<std::uint64_t>(a), 0xdeadbeefu);
+}
+
+TEST_F(PoolTest, PersistMakesDataDurable)
+{
+    const Addr a = pool.alloc(64);
+    pool.store<std::uint64_t>(a, 7);
+    EXPECT_FALSE(pool.device().isDurable(AddrRange::fromSize(a, 8)));
+    pool.persist(a, 8);
+    EXPECT_TRUE(pool.device().isDurable(AddrRange::fromSize(a, 8)));
+    std::uint64_t v = 0;
+    pool.device().readPersisted(a, &v, 8);
+    EXPECT_EQ(v, 7u);
+}
+
+TEST_F(PoolTest, FlushEmitsOneEventPerCoveredLine)
+{
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    const Addr a = pool.alloc(256);
+    recorder.clear();
+    pool.flush(a, 130); // covers 3 lines
+    int flushes = 0;
+    for (const Event &event : recorder.events()) {
+        if (event.kind == EventKind::Flush) {
+            ++flushes;
+            EXPECT_EQ(event.addr % cacheLineSize, 0u);
+            EXPECT_EQ(event.size, cacheLineSize);
+        }
+    }
+    EXPECT_EQ(flushes, 3);
+    runtime.detach(&recorder);
+}
+
+TEST_F(PoolTest, WriteBytesEmitsStoreEvent)
+{
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    const Addr a = pool.alloc(64);
+    recorder.clear();
+    const std::uint32_t v = 42;
+    pool.writeBytes(a, &v, sizeof(v));
+    ASSERT_EQ(recorder.events().size(), 1u);
+    EXPECT_EQ(recorder.events()[0].kind, EventKind::Store);
+    EXPECT_EQ(recorder.events()[0].addr, a);
+    EXPECT_EQ(recorder.events()[0].size, sizeof(v));
+    runtime.detach(&recorder);
+}
+
+TEST_F(PoolTest, HeaderLineNeverAliasesDataLines)
+{
+    // The allocator keeps the block header on its own cache line so
+    // header persists never write back user data.
+    const Addr a = pool.alloc(64);
+    EXPECT_NE(cacheLineBase(a - 1), cacheLineBase(a));
+}
+
+TEST(PoolStandaloneTest, TrackPersistenceOffSkipsDeviceSink)
+{
+    PmRuntime runtime;
+    PmemPool pool(runtime, 1 << 20, "perf.pool",
+                  /*track_persistence=*/false);
+    const Addr a = pool.alloc(64);
+    pool.store<std::uint64_t>(a, 1);
+    pool.persist(a, 8);
+    // The volatile image still works; the persistence domain is not
+    // tracked (the device never saw any events, so no line is dirty).
+    EXPECT_EQ(pool.load<std::uint64_t>(a), 1u);
+    EXPECT_EQ(pool.device().dirtyLineCount(), 0u);
+    EXPECT_EQ(pool.device().pendingLineCount(), 0u);
+}
+
+TEST(PoolStandaloneTest, TooSmallPoolIsFatal)
+{
+    PmRuntime runtime;
+    EXPECT_DEATH(PmemPool(runtime, 1024, "tiny"), "too small");
+}
+
+} // namespace
+} // namespace pmdb

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the on-disk trace format and the record/replay workflow,
+ * plus the JSON report rendering and the Persistence Inspector model
+ * (the post-mortem consumers of saved traces).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.hh"
+#include "detectors/persistence_inspector.hh"
+#include "detectors/registry.hh"
+#include "trace/recorder.hh"
+#include "trace/trace_file.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+/** Temp-file helper that cleans up after itself. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+    }
+
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(TraceFileTest, RoundTripPreservesEverything)
+{
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    runtime.registerPmem("var.a", 0x40, 8);
+    runtime.store(0x40, 8);
+    runtime.flush(0x40, 64, FlushKind::Clflushopt);
+    runtime.strandBegin(2);
+    runtime.store(0x80, 16, /*thread=*/3);
+    runtime.strandEnd(2);
+    runtime.fence();
+    runtime.programEnd();
+
+    TempPath path("roundtrip.trc");
+    std::string error;
+    ASSERT_TRUE(writeTraceFile(path.str(), recorder.events(),
+                               runtime.names(), &error))
+        << error;
+
+    LoadedTrace loaded;
+    ASSERT_TRUE(readTraceFile(path.str(), &loaded, &error)) << error;
+    ASSERT_EQ(loaded.events.size(), recorder.events().size());
+    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+        const Event &a = recorder.events()[i];
+        const Event &b = loaded.events[i];
+        EXPECT_EQ(a.kind, b.kind) << i;
+        EXPECT_EQ(a.flushKind, b.flushKind) << i;
+        EXPECT_EQ(a.thread, b.thread) << i;
+        EXPECT_EQ(a.strand, b.strand) << i;
+        EXPECT_EQ(a.nameId, b.nameId) << i;
+        EXPECT_EQ(a.addr, b.addr) << i;
+        EXPECT_EQ(a.size, b.size) << i;
+        EXPECT_EQ(a.seq, b.seq) << i;
+    }
+    EXPECT_EQ(loaded.names.size(), 1u);
+    EXPECT_EQ(loaded.names.name(0), "var.a");
+}
+
+TEST(TraceFileTest, RejectsBadMagic)
+{
+    TempPath path("bad.trc");
+    std::FILE *file = std::fopen(path.str().c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite("NOTATRACE", 1, 9, file);
+    std::fclose(file);
+
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path.str(), &loaded, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(TraceFileTest, MissingFileFailsGracefully)
+{
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_FALSE(readTraceFile("/nonexistent/dir/x.trc", &loaded,
+                               &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceFileTest, ReplayFindsSameBugsAsLiveRun)
+{
+    // Record a buggy workload, then replay the saved trace through a
+    // fresh detector: identical verdicts.
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    auto live = makeDetector("pmemcheck");
+    runtime.attach(&recorder);
+    runtime.attach(live.get());
+
+    auto workload = makeWorkload("hashmap_atomic");
+    WorkloadOptions options;
+    options.operations = 200;
+    options.faults.enable("hmatomic_skip_entry_flush");
+    workload->run(runtime, options);
+    live->finalize();
+
+    TempPath path("replay.trc");
+    std::string error;
+    ASSERT_TRUE(writeTraceFile(path.str(), recorder.events(),
+                               runtime.names(), &error))
+        << error;
+    LoadedTrace loaded;
+    ASSERT_TRUE(readTraceFile(path.str(), &loaded, &error)) << error;
+
+    auto replayed = makeDetector("pmemcheck");
+    replayed->attached(loaded.names);
+    TraceReplayer replayer(loaded.events);
+    replayer.replay(*replayed);
+    replayed->finalize();
+
+    EXPECT_EQ(replayed->bugs().total(), live->bugs().total());
+    EXPECT_EQ(replayed->bugs().countOf(BugType::NoDurability),
+              live->bugs().countOf(BugType::NoDurability));
+}
+
+TEST(PersistenceInspectorTest, PostMortemFindsDurabilityBugs)
+{
+    PmRuntime runtime;
+    PersistenceInspector inspector;
+    runtime.attach(&inspector);
+    runtime.store(0x100, 8); // missing CLF
+    runtime.fence();
+    runtime.store(0x200, 8);
+    runtime.flush(0x200, 64);
+    runtime.flush(0x200, 64); // excessive flush
+    runtime.fence();
+    runtime.epochBegin();
+    runtime.txLog(0x300, 16);
+    runtime.txLog(0x308, 8); // excessive logging
+    runtime.fence();
+    runtime.epochEnd();
+    // Nothing is reported during collection...
+    EXPECT_EQ(inspector.bugs().total(), 0u);
+    EXPECT_GT(inspector.collectedEvents(), 0u);
+    runtime.programEnd();
+    // ...everything at analysis time.
+    EXPECT_EQ(inspector.bugs().countOf(BugType::NoDurability), 1u);
+    EXPECT_EQ(inspector.bugs().countOf(BugType::RedundantFlush), 1u);
+    EXPECT_EQ(inspector.bugs().countOf(BugType::RedundantLogging), 1u);
+}
+
+TEST(PersistenceInspectorTest, RegistryBuildsIt)
+{
+    auto detector = makeDetector("persistence_inspector");
+    ASSERT_NE(detector, nullptr);
+    EXPECT_TRUE(detector->isDbiBased());
+}
+
+TEST(JsonReportTest, EscapesAndStructures)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+
+    BugCollector bugs;
+    BugReport report;
+    report.type = BugType::NoDurability;
+    report.range = AddrRange(16, 24);
+    report.seq = 7;
+    report.cause = DurabilityCause::MissingFlush;
+    report.detail = "say \"hi\"";
+    bugs.report(report);
+
+    const std::string json = reportToJson(bugs);
+    EXPECT_NE(json.find("\"total_sites\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"no-durability\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"start\": 16"), std::string::npos);
+    EXPECT_NE(json.find("missing-flush"), std::string::npos);
+    EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(JsonReportTest, IncludesStats)
+{
+    BugCollector bugs;
+    DebuggerStats stats;
+    stats.stores = 10;
+    stats.fences = 2;
+    const std::string json = reportToJson(bugs, stats);
+    EXPECT_NE(json.find("\"stores\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"fences\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"bugs\": []"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmdb

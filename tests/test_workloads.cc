@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Workload correctness tests: each Table 4 workload produces correct
+ * data-structure semantics, a clean run raises no bugs under
+ * PMDebugger, and the registry exposes every workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "detectors/pmdebugger_detector.hh"
+#include "workloads/btree.hh"
+#include "workloads/ctree.hh"
+#include "workloads/hashmap_atomic.hh"
+#include "workloads/hashmap_tx.hh"
+#include "workloads/memcached.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/redis.hh"
+#include "workloads/rtree.hh"
+#include "workloads/workload.hh"
+#include "workloads/ycsb.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+TEST(WorkloadRegistryTest, BuildsEveryAdvertisedWorkload)
+{
+    for (const std::string &name : workloadNames()) {
+        auto workload = makeWorkload(name);
+        ASSERT_NE(workload, nullptr) << name;
+        EXPECT_EQ(workload->name(), name);
+    }
+    EXPECT_EQ(makeWorkload("bogus"), nullptr);
+    EXPECT_EQ(microBenchmarkNames().size(), 7u);
+}
+
+TEST(WorkloadRegistryTest, ModelsMatchTable4)
+{
+    EXPECT_EQ(makeWorkload("b_tree")->model(), PersistencyModel::Epoch);
+    EXPECT_EQ(makeWorkload("hashmap_tx")->model(),
+              PersistencyModel::Epoch);
+    EXPECT_EQ(makeWorkload("synth_strand")->model(),
+              PersistencyModel::Strand);
+    EXPECT_EQ(makeWorkload("memcached")->model(),
+              PersistencyModel::Strict);
+    EXPECT_EQ(makeWorkload("redis")->model(), PersistencyModel::Epoch);
+}
+
+/** Structure-level tests against the persistent index implementations. */
+class IndexTest : public ::testing::Test
+{
+  protected:
+    IndexTest() : pool(runtime, 32 << 20, "index.pool") {}
+
+    PmRuntime runtime;
+    PmemPool pool;
+    FaultSet noFaults;
+};
+
+TEST_F(IndexTest, BTreeInsertLookup)
+{
+    PersistentBTree tree(pool, noFaults);
+    Rng rng(1);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i)
+        keys.push_back(rng.next());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        tree.insert(keys[i], i);
+    EXPECT_EQ(tree.count(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto v = tree.lookup(keys[i]);
+        ASSERT_TRUE(v.has_value()) << i;
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(tree.lookup(0xdead0000beefULL).has_value());
+}
+
+TEST_F(IndexTest, BTreeUpdatesInPlace)
+{
+    PersistentBTree tree(pool, noFaults);
+    tree.insert(42, 1);
+    tree.insert(42, 2);
+    EXPECT_EQ(tree.lookup(42).value(), 2u);
+}
+
+TEST_F(IndexTest, CTreeInsertLookup)
+{
+    PersistentCTree tree(pool, noFaults);
+    Rng rng(2);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i)
+        keys.push_back(rng.next());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        tree.insert(keys[i], i);
+    EXPECT_EQ(tree.count(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(tree.lookup(keys[i]).value(), i);
+}
+
+TEST_F(IndexTest, CTreeSequentialKeys)
+{
+    PersistentCTree tree(pool, noFaults);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        tree.insert(k, k * 10);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        EXPECT_EQ(tree.lookup(k).value(), k * 10);
+    EXPECT_FALSE(tree.lookup(512).has_value());
+}
+
+TEST_F(IndexTest, RTreeInsertLookup)
+{
+    PersistentRTree tree(pool, noFaults);
+    Rng rng(3);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i)
+        keys.push_back(rng.next());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        tree.insert(keys[i], i);
+    EXPECT_EQ(tree.count(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(tree.lookup(keys[i]).value(), i);
+}
+
+TEST_F(IndexTest, RbTreeInsertLookupAndInvariants)
+{
+    PersistentRbTree tree(pool, noFaults);
+    Rng rng(4);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i)
+        keys.push_back(rng.next());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        tree.insert(keys[i], i);
+        if (i % 257 == 0)
+            tree.validate();
+    }
+    tree.validate();
+    EXPECT_EQ(tree.count(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(tree.lookup(keys[i]).value(), i);
+}
+
+TEST_F(IndexTest, HashmapTxInsertLookup)
+{
+    PersistentHashmapTx map(pool, noFaults);
+    for (std::uint64_t k = 0; k < 3000; ++k)
+        map.insert(k, k + 7);
+    map.flushStats();
+    EXPECT_EQ(map.count(), 3000u);
+    for (std::uint64_t k = 0; k < 3000; ++k)
+        EXPECT_EQ(map.lookup(k).value(), k + 7);
+    EXPECT_FALSE(map.lookup(3000).has_value());
+}
+
+TEST_F(IndexTest, HashmapAtomicInsertLookupUpdate)
+{
+    PersistentHashmapAtomic map(pool, noFaults);
+    for (std::uint64_t k = 0; k < 3000; ++k)
+        map.insert(k, k);
+    EXPECT_EQ(map.count(), 3000u);
+    map.insert(5, 999); // update path
+    EXPECT_EQ(map.count(), 3000u);
+    EXPECT_EQ(map.lookup(5).value(), 999u);
+}
+
+TEST_F(IndexTest, MemcachedDelete)
+{
+    MiniMemcached cache(pool, noFaults);
+    cache.set(1, 100);
+    cache.set(2, 200);
+    EXPECT_TRUE(cache.del(1));
+    EXPECT_FALSE(cache.del(1));
+    EXPECT_FALSE(cache.get(1));
+    EXPECT_TRUE(cache.get(2));
+    EXPECT_EQ(cache.currItems(), 1u);
+}
+
+TEST_F(IndexTest, MemcachedSetGetEvict)
+{
+    MiniMemcached cache(pool, noFaults, nullptr, /*capacity=*/256);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        cache.set(k, k);
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_LE(cache.currItems(), 256u + MiniMemcached::shardCount);
+    // Recent keys hit; long-evicted keys miss.
+    EXPECT_TRUE(cache.get(999));
+    EXPECT_GT(cache.casId(), 0u);
+}
+
+TEST_F(IndexTest, RedisSetGetEvict)
+{
+    MiniRedis redis(pool, noFaults, nullptr, /*max_keys=*/128);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        redis.set(k, k * 3);
+    EXPECT_GT(redis.evictions(), 0u);
+    EXPECT_LE(redis.count(), 128u);
+    EXPECT_EQ(redis.get(511).value(), 511u * 3);
+}
+
+/** Every Table 4 workload, run clean, raises zero bugs in PMDebugger. */
+class CleanWorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CleanWorkloadTest, NoFalsePositives)
+{
+    auto workload = makeWorkload(GetParam());
+    ASSERT_NE(workload, nullptr);
+
+    DebuggerConfig config;
+    config.model = workload->model();
+    if (!workload->orderSpecText().empty())
+        config.orderSpec = OrderSpec::fromText(workload->orderSpecText());
+    PmRuntime runtime;
+    PmDebuggerDetector detector(std::move(config));
+    runtime.attach(&detector);
+
+    WorkloadOptions options;
+    options.operations = 500;
+    options.seed = 11;
+    workload->run(runtime, options);
+    detector.finalize();
+    EXPECT_EQ(detector.bugs().total(), 0u)
+        << detector.bugs().summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CleanWorkloadTest,
+    ::testing::Values("b_tree", "c_tree", "r_tree", "rb_tree",
+                      "hashmap_tx", "hashmap_atomic", "synth_strand",
+                      "synth_patterns", "memcached", "redis", "ycsb_a",
+                      "ycsb_f"));
+
+TEST(YcsbGeneratorTest, MixesMatchLoadDefinitions)
+{
+    // Load C is read-only; load A is ~50/50.
+    YcsbGenerator c('c', 1000, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(c.next().kind, YcsbOp::Read);
+
+    YcsbGenerator a('a', 1000, 1);
+    int updates = 0;
+    for (int i = 0; i < 10000; ++i)
+        updates += a.next().kind == YcsbOp::Update ? 1 : 0;
+    EXPECT_NEAR(updates / 10000.0, 0.5, 0.05);
+
+    YcsbGenerator e('e', 1000, 1);
+    int scans = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const YcsbOp op = e.next();
+        if (op.kind == YcsbOp::Scan) {
+            ++scans;
+            EXPECT_GE(op.scanLength, 1);
+            EXPECT_LE(op.scanLength, 100);
+        }
+    }
+    EXPECT_NEAR(scans / 10000.0, 0.95, 0.03);
+}
+
+TEST(WorkloadDeterminismTest, SameSeedSameEventStream)
+{
+    auto run_once = [](std::uint64_t seed) {
+        PmRuntime runtime;
+        auto workload = makeWorkload("b_tree");
+        WorkloadOptions options;
+        options.operations = 200;
+        options.seed = seed;
+        workload->run(runtime, options);
+        return runtime.eventCount();
+    };
+    EXPECT_EQ(run_once(5), run_once(5));
+    EXPECT_NE(run_once(5), run_once(6));
+}
+
+} // namespace
+} // namespace pmdb

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * pmdb_run — the repository's equivalent of the paper artifact's
+ * `run.sh <CHECKER> <INPUTSIZE> <WORKLOAD>` scripts: run one workload
+ * under one detector and print the bug report and bookkeeping
+ * statistics (optionally as JSON).
+ *
+ * Usage:
+ *   pmdb_run <checker> <inputsize> <workload>
+ *            [--threads N] [--fault NAME]... [--set-ratio R]
+ *            [--trace-out FILE] [--json] [--seed S]
+ *
+ *   checker: pmdebugger | pmemcheck | pmtest | xfdetector |
+ *            persistence_inspector | nulgrind | none
+ *   workload: b_tree, c_tree, r_tree, rb_tree, hashmap_tx,
+ *             hashmap_atomic, synth_strand, memcached, redis,
+ *             ycsb_a..ycsb_f
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.hh"
+#include "core/report.hh"
+#include "detectors/pmtest.hh"
+#include "detectors/registry.hh"
+#include "trace/recorder.hh"
+#include "trace/trace_file.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <checker> <inputsize> <workload>\n"
+                 "          [--threads N] [--fault NAME]... "
+                 "[--set-ratio R]\n"
+                 "          [--trace-out FILE] [--json] [--seed S]\n"
+                 "checkers:",
+                 argv0);
+    for (const std::string &name : pmdb::detectorNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, " none\nworkloads:");
+    for (const std::string &name : pmdb::workloadNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmdb;
+
+    if (argc < 4) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string checker = argv[1];
+    const std::size_t ops = std::strtoull(argv[2], nullptr, 10);
+    const std::string workload_name = argv[3];
+
+    WorkloadOptions options;
+    options.operations = ops;
+    std::string trace_out;
+    bool json = false;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads")
+            options.threads = std::atoi(next());
+        else if (arg == "--fault")
+            options.faults.enable(next());
+        else if (arg == "--set-ratio")
+            options.setRatio = std::atof(next());
+        else if (arg == "--seed")
+            options.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--trace-out")
+            trace_out = next();
+        else if (arg == "--json")
+            json = true;
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    auto workload = makeWorkload(workload_name);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload_name.c_str());
+        return 2;
+    }
+
+    PmRuntime runtime;
+    DebuggerConfig config;
+    config.model = workload->model();
+    if (!workload->orderSpecText().empty())
+        config.orderSpec = OrderSpec::fromText(workload->orderSpecText());
+
+    std::unique_ptr<Detector> detector;
+    if (checker != "none") {
+        detector = makeDetector(checker, config);
+        if (!detector) {
+            std::fprintf(stderr, "unknown checker '%s'\n",
+                         checker.c_str());
+            return 2;
+        }
+        runtime.attach(detector.get());
+        if (checker == "pmtest") {
+            options.pmtest =
+                static_cast<PmTestDetector *>(detector.get());
+        }
+    }
+
+    TraceRecorder recorder;
+    if (!trace_out.empty())
+        runtime.attach(&recorder);
+
+    Stopwatch watch;
+    workload->run(runtime, options);
+    const double seconds = watch.elapsedSeconds();
+    if (detector)
+        detector->finalize();
+
+    if (!trace_out.empty()) {
+        std::string error;
+        if (!writeTraceFile(trace_out, recorder.events(),
+                            runtime.names(), &error)) {
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "trace: %zu events -> %s\n",
+                     recorder.events().size(), trace_out.c_str());
+    }
+
+    if (!detector) {
+        std::printf("%s: %zu ops in %.4fs (no checker)\n",
+                    workload_name.c_str(), ops, seconds);
+        return 0;
+    }
+
+    if (json) {
+        std::printf("%s\n",
+                    reportToJson(detector->bugs(), detector->stats())
+                        .c_str());
+    } else {
+        std::printf("%s under %s: %zu ops in %.4fs\n",
+                    workload_name.c_str(), checker.c_str(), ops,
+                    seconds);
+        std::printf("%s", detector->bugs().summary().c_str());
+        std::printf("%s\n", detector->stats().toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * pmdb_trace — record, inspect, characterize and replay instrumented
+ * PM traces (the record-once / analyze-many workflow).
+ *
+ * Usage:
+ *   pmdb_trace record <workload> <ops> <out.trc> [--fault NAME]
+ *   pmdb_trace info <file.trc>
+ *   pmdb_trace charz <file.trc>          # Section 3 characterization
+ *   pmdb_trace replay <file.trc> <checker> [--json]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "charz/characterize.hh"
+#include "core/report.hh"
+#include "detectors/registry.hh"
+#include "trace/recorder.hh"
+#include "trace/trace_file.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s record <workload> <ops> <out.trc> [--fault NAME]\n"
+        "       %s info <file.trc>\n"
+        "       %s charz <file.trc>\n"
+        "       %s replay <file.trc> <checker> [--json]\n",
+        argv0, argv0, argv0, argv0);
+    return 2;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 5)
+        return usage(argv[0]);
+    auto workload = makeWorkload(argv[2]);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s'\n", argv[2]);
+        return 2;
+    }
+    WorkloadOptions options;
+    options.operations = std::strtoull(argv[3], nullptr, 10);
+    for (int i = 5; i + 1 < argc; i += 2) {
+        if (std::string(argv[i]) == "--fault")
+            options.faults.enable(argv[i + 1]);
+    }
+
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    workload->run(runtime, options);
+
+    std::string error;
+    if (!writeTraceFile(argv[4], recorder.events(), runtime.names(),
+                        &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    std::printf("recorded %zu events from %s -> %s\n",
+                recorder.events().size(), argv[2], argv[4]);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 3)
+        return usage(argv[0]);
+    LoadedTrace trace;
+    std::string error;
+    if (!readTraceFile(argv[2], &trace, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    std::uint64_t counts[16] = {};
+    for (const Event &event : trace.events)
+        ++counts[static_cast<int>(event.kind)];
+    std::printf("%s: %zu events, %zu interned names\n", argv[2],
+                trace.events.size(), trace.names.size());
+    for (int k = 0; k < 16; ++k) {
+        if (counts[k]) {
+            std::printf("  %-14s %llu\n",
+                        toString(static_cast<EventKind>(k)),
+                        static_cast<unsigned long long>(counts[k]));
+        }
+    }
+    return 0;
+}
+
+int
+cmdCharz(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 3)
+        return usage(argv[0]);
+    LoadedTrace trace;
+    std::string error;
+    if (!readTraceFile(argv[2], &trace, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    const CharacterizationResult result = characterize(trace.events);
+    std::printf("%s\n", result.toString().c_str());
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 4)
+        return usage(argv[0]);
+    LoadedTrace trace;
+    std::string error;
+    if (!readTraceFile(argv[2], &trace, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    auto detector = makeDetector(argv[3], {});
+    if (!detector) {
+        std::fprintf(stderr, "unknown checker '%s'\n", argv[3]);
+        return 2;
+    }
+    detector->attached(trace.names);
+    TraceReplayer replayer(trace.events);
+    replayer.replay(*detector);
+    detector->finalize();
+
+    const bool json = argc > 4 && std::string(argv[4]) == "--json";
+    if (json)
+        std::printf("%s\n", reportToJson(detector->bugs()).c_str());
+    else
+        std::printf("%s", detector->bugs().summary().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    if (command == "record")
+        return cmdRecord(argc, argv);
+    if (command == "info")
+        return cmdInfo(argc, argv);
+    if (command == "charz")
+        return cmdCharz(argc, argv);
+    if (command == "replay")
+        return cmdReplay(argc, argv);
+    return usage(argv[0]);
+}
