@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstool_comparison.dir/crosstool_comparison.cc.o"
+  "CMakeFiles/crosstool_comparison.dir/crosstool_comparison.cc.o.d"
+  "crosstool_comparison"
+  "crosstool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_characterization.dir/fig2_characterization.cc.o"
+  "CMakeFiles/fig2_characterization.dir/fig2_characterization.cc.o.d"
+  "fig2_characterization"
+  "fig2_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_slowdown.dir/fig8_slowdown.cc.o"
+  "CMakeFiles/fig8_slowdown.dir/fig8_slowdown.cc.o.d"
+  "fig8_slowdown"
+  "fig8_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newbugs_repro.dir/newbugs_repro.cc.o"
+  "CMakeFiles/newbugs_repro.dir/newbugs_repro.cc.o.d"
+  "newbugs_repro"
+  "newbugs_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newbugs_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

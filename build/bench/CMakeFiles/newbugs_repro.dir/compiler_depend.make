@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for newbugs_repro.
+# This may be replaced when dependencies are built.

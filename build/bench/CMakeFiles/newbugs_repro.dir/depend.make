@@ -1,0 +1,2 @@
+# Empty dependencies file for newbugs_repro.
+# This may be replaced when dependencies are built.

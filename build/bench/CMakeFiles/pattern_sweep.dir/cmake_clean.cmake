@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_sweep.dir/pattern_sweep.cc.o"
+  "CMakeFiles/pattern_sweep.dir/pattern_sweep.cc.o.d"
+  "pattern_sweep"
+  "pattern_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speedup.dir/table5_speedup.cc.o"
+  "CMakeFiles/table5_speedup.dir/table5_speedup.cc.o.d"
+  "table5_speedup"
+  "table5_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

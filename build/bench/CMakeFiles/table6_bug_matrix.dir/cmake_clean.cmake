@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_bug_matrix.dir/table6_bug_matrix.cc.o"
+  "CMakeFiles/table6_bug_matrix.dir/table6_bug_matrix.cc.o.d"
+  "table6_bug_matrix"
+  "table6_bug_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bug_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_sweep.dir/ycsb_sweep.cc.o"
+  "CMakeFiles/ycsb_sweep.dir/ycsb_sweep.cc.o.d"
+  "ycsb_sweep"
+  "ycsb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexible_rules.dir/flexible_rules.cpp.o"
+  "CMakeFiles/flexible_rules.dir/flexible_rules.cpp.o.d"
+  "flexible_rules"
+  "flexible_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexible_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kvstore_debugging.cpp" "examples/CMakeFiles/kvstore_debugging.dir/kvstore_debugging.cpp.o" "gcc" "examples/CMakeFiles/kvstore_debugging.dir/kvstore_debugging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pmdb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/pmdb_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/pmdb_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

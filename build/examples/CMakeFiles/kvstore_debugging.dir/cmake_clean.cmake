@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_debugging.dir/kvstore_debugging.cpp.o"
+  "CMakeFiles/kvstore_debugging.dir/kvstore_debugging.cpp.o.d"
+  "kvstore_debugging"
+  "kvstore_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

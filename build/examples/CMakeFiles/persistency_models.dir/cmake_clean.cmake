@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistency_models.dir/persistency_models.cpp.o"
+  "CMakeFiles/persistency_models.dir/persistency_models.cpp.o.d"
+  "persistency_models"
+  "persistency_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistency_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_charz.dir/characterize.cc.o"
+  "CMakeFiles/pmdb_charz.dir/characterize.cc.o.d"
+  "libpmdb_charz.a"
+  "libpmdb_charz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_charz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

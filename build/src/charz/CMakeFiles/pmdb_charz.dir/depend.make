@@ -1,0 +1,2 @@
+# Empty dependencies file for pmdb_charz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_common.dir/logging.cc.o"
+  "CMakeFiles/pmdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/pmdb_common.dir/rng.cc.o"
+  "CMakeFiles/pmdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/pmdb_common.dir/table.cc.o"
+  "CMakeFiles/pmdb_common.dir/table.cc.o.d"
+  "libpmdb_common.a"
+  "libpmdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

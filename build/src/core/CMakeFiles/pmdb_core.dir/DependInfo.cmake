@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/avl_tree.cc" "src/core/CMakeFiles/pmdb_core.dir/avl_tree.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/avl_tree.cc.o.d"
+  "/root/repo/src/core/bug.cc" "src/core/CMakeFiles/pmdb_core.dir/bug.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/bug.cc.o.d"
+  "/root/repo/src/core/cross_failure.cc" "src/core/CMakeFiles/pmdb_core.dir/cross_failure.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/cross_failure.cc.o.d"
+  "/root/repo/src/core/debugger.cc" "src/core/CMakeFiles/pmdb_core.dir/debugger.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/debugger.cc.o.d"
+  "/root/repo/src/core/mem_array.cc" "src/core/CMakeFiles/pmdb_core.dir/mem_array.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/mem_array.cc.o.d"
+  "/root/repo/src/core/order_spec.cc" "src/core/CMakeFiles/pmdb_core.dir/order_spec.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/order_spec.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/pmdb_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/pmdb_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/rules.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/pmdb_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/pmdb_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

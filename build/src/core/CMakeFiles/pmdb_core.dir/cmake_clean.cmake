@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_core.dir/avl_tree.cc.o"
+  "CMakeFiles/pmdb_core.dir/avl_tree.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/bug.cc.o"
+  "CMakeFiles/pmdb_core.dir/bug.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/cross_failure.cc.o"
+  "CMakeFiles/pmdb_core.dir/cross_failure.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/debugger.cc.o"
+  "CMakeFiles/pmdb_core.dir/debugger.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/mem_array.cc.o"
+  "CMakeFiles/pmdb_core.dir/mem_array.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/order_spec.cc.o"
+  "CMakeFiles/pmdb_core.dir/order_spec.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/report.cc.o"
+  "CMakeFiles/pmdb_core.dir/report.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/rules.cc.o"
+  "CMakeFiles/pmdb_core.dir/rules.cc.o.d"
+  "CMakeFiles/pmdb_core.dir/stats.cc.o"
+  "CMakeFiles/pmdb_core.dir/stats.cc.o.d"
+  "libpmdb_core.a"
+  "libpmdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/persistence_inspector.cc" "src/detectors/CMakeFiles/pmdb_detectors.dir/persistence_inspector.cc.o" "gcc" "src/detectors/CMakeFiles/pmdb_detectors.dir/persistence_inspector.cc.o.d"
+  "/root/repo/src/detectors/pmemcheck.cc" "src/detectors/CMakeFiles/pmdb_detectors.dir/pmemcheck.cc.o" "gcc" "src/detectors/CMakeFiles/pmdb_detectors.dir/pmemcheck.cc.o.d"
+  "/root/repo/src/detectors/pmtest.cc" "src/detectors/CMakeFiles/pmdb_detectors.dir/pmtest.cc.o" "gcc" "src/detectors/CMakeFiles/pmdb_detectors.dir/pmtest.cc.o.d"
+  "/root/repo/src/detectors/registry.cc" "src/detectors/CMakeFiles/pmdb_detectors.dir/registry.cc.o" "gcc" "src/detectors/CMakeFiles/pmdb_detectors.dir/registry.cc.o.d"
+  "/root/repo/src/detectors/xfdetector.cc" "src/detectors/CMakeFiles/pmdb_detectors.dir/xfdetector.cc.o" "gcc" "src/detectors/CMakeFiles/pmdb_detectors.dir/xfdetector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

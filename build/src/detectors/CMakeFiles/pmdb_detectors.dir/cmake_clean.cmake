@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_detectors.dir/persistence_inspector.cc.o"
+  "CMakeFiles/pmdb_detectors.dir/persistence_inspector.cc.o.d"
+  "CMakeFiles/pmdb_detectors.dir/pmemcheck.cc.o"
+  "CMakeFiles/pmdb_detectors.dir/pmemcheck.cc.o.d"
+  "CMakeFiles/pmdb_detectors.dir/pmtest.cc.o"
+  "CMakeFiles/pmdb_detectors.dir/pmtest.cc.o.d"
+  "CMakeFiles/pmdb_detectors.dir/registry.cc.o"
+  "CMakeFiles/pmdb_detectors.dir/registry.cc.o.d"
+  "CMakeFiles/pmdb_detectors.dir/xfdetector.cc.o"
+  "CMakeFiles/pmdb_detectors.dir/xfdetector.cc.o.d"
+  "libpmdb_detectors.a"
+  "libpmdb_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmdb_detectors.a"
+)

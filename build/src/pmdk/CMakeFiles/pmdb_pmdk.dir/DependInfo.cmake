@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmdk/pool.cc" "src/pmdk/CMakeFiles/pmdb_pmdk.dir/pool.cc.o" "gcc" "src/pmdk/CMakeFiles/pmdb_pmdk.dir/pool.cc.o.d"
+  "/root/repo/src/pmdk/tx.cc" "src/pmdk/CMakeFiles/pmdb_pmdk.dir/tx.cc.o" "gcc" "src/pmdk/CMakeFiles/pmdb_pmdk.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

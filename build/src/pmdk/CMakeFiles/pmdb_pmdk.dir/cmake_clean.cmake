@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_pmdk.dir/pool.cc.o"
+  "CMakeFiles/pmdb_pmdk.dir/pool.cc.o.d"
+  "CMakeFiles/pmdb_pmdk.dir/tx.cc.o"
+  "CMakeFiles/pmdb_pmdk.dir/tx.cc.o.d"
+  "libpmdb_pmdk.a"
+  "libpmdb_pmdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_pmdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

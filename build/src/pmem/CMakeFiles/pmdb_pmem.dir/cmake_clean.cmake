@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_pmem.dir/device.cc.o"
+  "CMakeFiles/pmdb_pmem.dir/device.cc.o.d"
+  "libpmdb_pmem.a"
+  "libpmdb_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pmdb_pmem.
+# This may be replaced when dependencies are built.

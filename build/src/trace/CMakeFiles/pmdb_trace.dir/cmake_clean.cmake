@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_trace.dir/runtime.cc.o"
+  "CMakeFiles/pmdb_trace.dir/runtime.cc.o.d"
+  "CMakeFiles/pmdb_trace.dir/trace_file.cc.o"
+  "CMakeFiles/pmdb_trace.dir/trace_file.cc.o.d"
+  "libpmdb_trace.a"
+  "libpmdb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/bug_suite.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/bug_suite.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/bug_suite.cc.o.d"
+  "/root/repo/src/workloads/ctree.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/ctree.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/ctree.cc.o.d"
+  "/root/repo/src/workloads/hashmap_atomic.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/hashmap_atomic.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/hashmap_atomic.cc.o.d"
+  "/root/repo/src/workloads/hashmap_tx.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/hashmap_tx.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/hashmap_tx.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/redis.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/redis.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/redis.cc.o.d"
+  "/root/repo/src/workloads/rtree.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/rtree.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/rtree.cc.o.d"
+  "/root/repo/src/workloads/suite_runner.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/suite_runner.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/suite_runner.cc.o.d"
+  "/root/repo/src/workloads/synth_patterns.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/synth_patterns.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/synth_patterns.cc.o.d"
+  "/root/repo/src/workloads/synth_strand.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/synth_strand.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/synth_strand.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/pmdb_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/pmdb_workloads.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmdk/CMakeFiles/pmdb_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/pmdb_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

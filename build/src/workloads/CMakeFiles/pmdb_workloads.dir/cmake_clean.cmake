@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_workloads.dir/btree.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/bug_suite.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/bug_suite.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/ctree.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/ctree.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/hashmap_atomic.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/hashmap_atomic.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/hashmap_tx.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/hashmap_tx.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/memcached.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/redis.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/redis.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/rtree.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/rtree.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/suite_runner.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/suite_runner.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/synth_patterns.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/synth_patterns.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/synth_strand.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/synth_strand.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/workload.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/pmdb_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/pmdb_workloads.dir/ycsb.cc.o.d"
+  "libpmdb_workloads.a"
+  "libpmdb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avl_tree.dir/test_avl_tree.cc.o"
+  "CMakeFiles/test_avl_tree.dir/test_avl_tree.cc.o.d"
+  "test_avl_tree"
+  "test_avl_tree.pdb"
+  "test_avl_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avl_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

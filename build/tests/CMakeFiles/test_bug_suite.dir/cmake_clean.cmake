@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bug_suite.dir/test_bug_suite.cc.o"
+  "CMakeFiles/test_bug_suite.dir/test_bug_suite.cc.o.d"
+  "test_bug_suite"
+  "test_bug_suite.pdb"
+  "test_bug_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bug_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charz.dir/test_charz.cc.o"
+  "CMakeFiles/test_charz.dir/test_charz.cc.o.d"
+  "test_charz"
+  "test_charz.pdb"
+  "test_charz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

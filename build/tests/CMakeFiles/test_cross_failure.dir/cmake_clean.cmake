@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_failure.dir/test_cross_failure.cc.o"
+  "CMakeFiles/test_cross_failure.dir/test_cross_failure.cc.o.d"
+  "test_cross_failure"
+  "test_cross_failure.pdb"
+  "test_cross_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debugger.dir/test_debugger.cc.o"
+  "CMakeFiles/test_debugger.dir/test_debugger.cc.o.d"
+  "test_debugger"
+  "test_debugger.pdb"
+  "test_debugger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

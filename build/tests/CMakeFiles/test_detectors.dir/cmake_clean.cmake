@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detectors.dir/test_detectors.cc.o"
+  "CMakeFiles/test_detectors.dir/test_detectors.cc.o.d"
+  "test_detectors"
+  "test_detectors.pdb"
+  "test_detectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

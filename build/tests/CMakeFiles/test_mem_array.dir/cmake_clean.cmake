@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_array.dir/test_mem_array.cc.o"
+  "CMakeFiles/test_mem_array.dir/test_mem_array.cc.o.d"
+  "test_mem_array"
+  "test_mem_array.pdb"
+  "test_mem_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_tracker.dir/test_order_tracker.cc.o"
+  "CMakeFiles/test_order_tracker.dir/test_order_tracker.cc.o.d"
+  "test_order_tracker"
+  "test_order_tracker.pdb"
+  "test_order_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_order_tracker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/test_trace_file.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/test_trace_file.dir/test_trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pmdb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/pmdb_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/charz/CMakeFiles/pmdb_charz.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/pmdb_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/pmdb_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

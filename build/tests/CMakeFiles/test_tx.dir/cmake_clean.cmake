@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tx.dir/test_tx.cc.o"
+  "CMakeFiles/test_tx.dir/test_tx.cc.o.d"
+  "test_tx"
+  "test_tx.pdb"
+  "test_tx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_avl_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_bug_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_charz[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_debugger[1]_include.cmake")
+include("/root/repo/build/tests/test_detectors[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_array[1]_include.cmake")
+include("/root/repo/build/tests/test_order_tracker[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_tx[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")

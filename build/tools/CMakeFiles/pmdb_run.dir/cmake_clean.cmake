@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_run.dir/pmdb_run.cc.o"
+  "CMakeFiles/pmdb_run.dir/pmdb_run.cc.o.d"
+  "pmdb_run"
+  "pmdb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

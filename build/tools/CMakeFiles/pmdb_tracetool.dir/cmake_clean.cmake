@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdb_tracetool.dir/pmdb_tracetool.cc.o"
+  "CMakeFiles/pmdb_tracetool.dir/pmdb_tracetool.cc.o.d"
+  "pmdb_tracetool"
+  "pmdb_tracetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdb_tracetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
