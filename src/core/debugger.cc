@@ -141,6 +141,92 @@ PmDebugger::handle(const Event &event)
 }
 
 void
+PmDebugger::handleBatch(const Event *events, std::size_t count)
+{
+    std::size_t i = 0;
+    while (i < count) {
+        const Event &head = events[i];
+        if (head.kind != EventKind::Store) {
+            handle(head);
+            ++i;
+            continue;
+        }
+        // Homogeneous run: consecutive stores of the same strand all
+        // target the same bookkeeping space.
+        std::size_t j = i + 1;
+        while (j < count && events[j].kind == EventKind::Store &&
+               events[j].strand == head.strand)
+            ++j;
+        processStoreRun(events + i, j - i);
+        i = j;
+    }
+}
+
+void
+PmDebugger::processStoreRun(const Event *events, std::size_t count)
+{
+    // Everything that is loop-invariant across the run is hoisted: the
+    // space lookup, the bookkeeping-mode branch, the epoch flag, the
+    // store-rule list and the order-tracker watch check. The per-event
+    // work that remains is exactly what processStore() does, in the
+    // same order, so counters and reports match per-event dispatch
+    // bit for bit.
+    base_.stores += count;
+    Space &space = spaceFor(events[0].strand);
+    current_ = &space;
+
+    MemoryLocationArray &array = space.array;
+    AvlTree &tree = space.tree;
+    const bool in_epoch = epochDepth_ > 0;
+    const bool tree_only = config_.bookkeeping == BookkeepingMode::TreeOnly;
+    const bool track_order = orderTracker_.watching();
+    Rule *const *rules = storeRules_.data();
+    const std::size_t rule_count = storeRules_.size();
+
+    if (!tree_only && rule_count == 0 && !track_order) {
+        // No per-event hook observes intermediate state, so the whole
+        // run can go through the array's bulk append; the overflow tail
+        // (if any) falls through to the general loop below.
+        const std::uint32_t done = array.appendRun(
+            events, static_cast<std::uint32_t>(count), in_epoch);
+        if (done == count) {
+            lastSeq_ = events[count - 1].seq;
+            return;
+        }
+        for (std::size_t i = done; i < count; ++i) {
+            const Event &event = events[i];
+            lastSeq_ = event.seq;
+            LocationRecord record(event.range(), FlushState::NotFlushed,
+                                  in_epoch, event.seq);
+            tree.insert(record);
+            array.noteOverflow();
+        }
+        return;
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Event &event = events[i];
+        lastSeq_ = event.seq;
+        if (track_order)
+            orderTracker_.onStore(event);
+
+        // Rules that inspect pre-store state (multiple overwrites) run
+        // before the record is added (§4.2).
+        for (std::size_t r = 0; r < rule_count; ++r)
+            rules[r]->onStore(*this, event);
+
+        LocationRecord record(event.range(), FlushState::NotFlushed,
+                              in_epoch, event.seq);
+        if (tree_only) {
+            tree.insert(record);
+        } else if (!array.append(record)) {
+            tree.insert(record);
+            array.noteOverflow();
+        }
+    }
+}
+
+void
 PmDebugger::processStore(const Event &event)
 {
     ++base_.stores;

@@ -52,6 +52,17 @@ class PmDebugger : public TraceSink, public DebugContext
 
     /** TraceSink: process one instrumented event. */
     void handle(const Event &event) override;
+
+    /**
+     * TraceSink: batched fast path. Runs of consecutive Store events in
+     * the same strand bypass the per-event EventKind switch and go
+     * straight into the bookkeeping space with the space lookup, rule
+     * list and mode checks hoisted out of the loop. Per-event order and
+     * all counters are preserved exactly, so results are bit-identical
+     * to per-event dispatch.
+     */
+    void handleBatch(const Event *events, std::size_t count) override;
+
     void attached(const NameTable &names) override;
 
     /**
@@ -115,6 +126,7 @@ class PmDebugger : public TraceSink, public DebugContext
     void indexRule(Rule *rule);
 
     void processStore(const Event &event);
+    void processStoreRun(const Event *events, std::size_t count);
     void processFlush(const Event &event);
     void processFence(const Event &event);
     void processEpochBegin(const Event &event);

@@ -13,30 +13,6 @@ MemoryLocationArray::MemoryLocationArray(std::size_t capacity)
     records_.resize(capacity);
 }
 
-bool
-MemoryLocationArray::append(const LocationRecord &record)
-{
-    if (full())
-        return false;
-
-    if (!intervalOpen_) {
-        ClfIntervalMeta meta;
-        meta.startIdx = size_;
-        meta.endIdx = size_;
-        intervals_.push_back(meta);
-        intervalOpen_ = true;
-    }
-
-    records_[size_] = record;
-    ++size_;
-    stats_.maxUsage = std::max(stats_.maxUsage, size_);
-
-    ClfIntervalMeta &meta = intervals_.back();
-    meta.endIdx = size_;
-    meta.bounds = meta.bounds.unionWith(record.range);
-    return true;
-}
-
 FlushState
 MemoryLocationArray::effectiveState(std::uint32_t idx,
                                     const ClfIntervalMeta &meta) const

@@ -16,12 +16,14 @@
 #ifndef PMDB_CORE_MEM_ARRAY_HH
 #define PMDB_CORE_MEM_ARRAY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "core/avl_tree.hh"
 #include "core/location.hh"
+#include "trace/event.hh"
 
 namespace pmdb
 {
@@ -97,9 +99,76 @@ class MemoryLocationArray
     /**
      * Append a store record to the current CLF interval (§4.2).
      * Returns false when the array is full: the caller then tracks the
-     * record in the AVL tree instead.
+     * record in the AVL tree instead. Defined inline — this is the
+     * single hottest call of the whole detector (one per store), and
+     * the batched dispatch path relies on it inlining into the
+     * store-run loop.
      */
-    bool append(const LocationRecord &record);
+    bool
+    append(const LocationRecord &record)
+    {
+        if (full())
+            return false;
+
+        if (!intervalOpen_) {
+            ClfIntervalMeta meta;
+            meta.startIdx = size_;
+            meta.endIdx = size_;
+            intervals_.push_back(meta);
+            intervalOpen_ = true;
+        }
+
+        records_[size_] = record;
+        ++size_;
+        stats_.maxUsage = std::max(stats_.maxUsage, size_);
+
+        ClfIntervalMeta &meta = intervals_.back();
+        meta.endIdx = size_;
+        meta.bounds = meta.bounds.unionWith(record.range);
+        return true;
+    }
+
+    /**
+     * Append a run of store records in bulk (batched dispatch fast
+     * path). Equivalent to calling append() once per event — the
+     * interval bounds union is associative and size_/endIdx/maxUsage
+     * are monotone within the run, so updating the metadata once at
+     * the end leaves identical state and stats. Returns the number of
+     * records appended; fewer than @p count means the array filled and
+     * the caller tracks the rest in the AVL tree.
+     */
+    std::uint32_t
+    appendRun(const Event *events, std::uint32_t count, bool in_epoch)
+    {
+        const std::uint32_t room =
+            static_cast<std::uint32_t>(capacity_) - size_;
+        const std::uint32_t n = std::min(count, room);
+        if (n == 0)
+            return 0;
+
+        if (!intervalOpen_) {
+            ClfIntervalMeta meta;
+            meta.startIdx = size_;
+            meta.endIdx = size_;
+            intervals_.push_back(meta);
+            intervalOpen_ = true;
+        }
+
+        ClfIntervalMeta &meta = intervals_.back();
+        AddrRange bounds = meta.bounds;
+        LocationRecord *out = records_.data() + size_;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const AddrRange range = events[i].range();
+            out[i] = LocationRecord(range, FlushState::NotFlushed,
+                                    in_epoch, events[i].seq);
+            bounds = bounds.unionWith(range);
+        }
+        size_ += n;
+        meta.endIdx = size_;
+        meta.bounds = bounds;
+        stats_.maxUsage = std::max(stats_.maxUsage, size_);
+        return n;
+    }
 
     /**
      * Apply a CLF over @p range (§4.3). Collectively marks intervals

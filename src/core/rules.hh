@@ -70,6 +70,13 @@ class OrderTracker
      */
     std::vector<int> onFence();
 
+    /**
+     * True when any variable is watched. The debugger's batched store
+     * path hoists this check so unwatched workloads skip the per-store
+     * onStore() call entirely.
+     */
+    bool watching() const { return !vars_.empty(); }
+
     std::size_t varCount() const { return vars_.size(); }
     const Var &var(int idx) const { return vars_[idx]; }
 

@@ -27,6 +27,32 @@ PersistenceInspector::handle(const Event &event)
 }
 
 void
+PersistenceInspector::handleBatch(const Event *events, std::size_t count)
+{
+    trace_.reserve(trace_.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+        switch (events[i].kind) {
+          case EventKind::Store:
+            ++base_.stores;
+            break;
+          case EventKind::Flush:
+            ++base_.flushes;
+            break;
+          case EventKind::Fence:
+            ++base_.fences;
+            break;
+          case EventKind::ProgramEnd:
+            trace_.push_back(events[i]);
+            finalize();
+            return;
+          default:
+            break;
+        }
+        trace_.push_back(events[i]);
+    }
+}
+
+void
 PersistenceInspector::finalize()
 {
     if (finalized_)

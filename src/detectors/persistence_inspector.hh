@@ -48,6 +48,9 @@ class PersistenceInspector : public Detector
     /** Collection phase: buffer everything. */
     void handle(const Event &event) override;
 
+    /** Collection phase is a bulk append under batched dispatch. */
+    void handleBatch(const Event *events, std::size_t count) override;
+
     const BugCollector &bugs() const override { return bugs_; }
 
     /** Analysis phase: replay the buffered trace through the rules. */

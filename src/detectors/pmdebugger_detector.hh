@@ -33,6 +33,13 @@ class PmDebuggerDetector : public Detector
 
     void handle(const Event &event) override { impl_.handle(event); }
 
+    /** Forward batches so the store-run fast path stays engaged. */
+    void
+    handleBatch(const Event *events, std::size_t count) override
+    {
+        impl_.handleBatch(events, count);
+    }
+
     const BugCollector &bugs() const override { return impl_.bugs(); }
 
     void finalize() override { impl_.finalize(); }

@@ -42,6 +42,19 @@ PmemcheckDetector::handle(const Event &event)
 }
 
 void
+PmemcheckDetector::handleBatch(const Event *events, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (events[i].kind != EventKind::Store) {
+            handle(events[i]);
+            continue;
+        }
+        lastSeq_ = events[i].seq;
+        processStore(events[i]);
+    }
+}
+
+void
 PmemcheckDetector::simulateExecontext(const Event &event)
 {
     // Pmemcheck records every store with its execution context:

@@ -29,13 +29,25 @@
 namespace pmdb
 {
 
-/** The PMTest baseline detector with its annotation API. */
+/**
+ * The PMTest baseline detector with its annotation API.
+ *
+ * PMTest requires synchronous delivery: its annotation checkers
+ * (isPersist / isOrderedBefore / txChecker) are called synchronously
+ * from the instrumented program between events, so the op log must be
+ * current at every program point — deferred dispatch would let a
+ * checker run before the ops it asserts about were delivered. The
+ * runtime honours requiresSynchronousDelivery() and feeds it per event
+ * even in Batched/Async mode.
+ */
 class PmTestDetector : public Detector
 {
   public:
     PmTestDetector() = default;
 
     const char *detectorName() const override { return "pmtest"; }
+
+    bool requiresSynchronousDelivery() const override { return true; }
 
     void handle(const Event &event) override;
 

@@ -32,6 +32,14 @@ class NulgrindDetector : public Detector
         ++eventCount_;
     }
 
+    /** Batched dispatch collapses to one counter bump per batch. */
+    void
+    handleBatch(const Event *events, std::size_t count) override
+    {
+        (void)events;
+        eventCount_ += count;
+    }
+
     const BugCollector &bugs() const override { return bugs_; }
 
     void finalize() override {}

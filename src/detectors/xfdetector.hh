@@ -61,7 +61,17 @@ struct XfDetectorConfig
     bool detectMultipleOverwrite = false;
 };
 
-/** The XFDetector baseline detector. */
+/**
+ * The XFDetector baseline detector.
+ *
+ * XFDetector requires synchronous delivery: its cross-failure verifier
+ * reads the PmemDevice crash image at failure points *during* event
+ * handling, so it depends on the device sink having processed exactly
+ * the events preceding the failure point. The runtime honours
+ * requiresSynchronousDelivery() and feeds it per event even when other
+ * sinks run batched, so its evaluation order never changes (and
+ * batching would buy it nothing anyway).
+ */
 class XfDetector : public Detector
 {
   public:
@@ -77,6 +87,8 @@ class XfDetector : public Detector
     const char *detectorName() const override { return "xfdetector"; }
 
     bool isDbiBased() const override { return true; }
+
+    bool requiresSynchronousDelivery() const override { return true; }
 
     void handle(const Event &event) override;
 

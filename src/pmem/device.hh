@@ -96,6 +96,15 @@ class PmemDevice : public TraceSink
     /** TraceSink: consumes Flush / Fence; ignores other events. */
     void handle(const Event &event) override;
 
+    /**
+     * The device is the hardware persistence domain: programs write its
+     * volatile image directly (PmemPool::writeBytes) and the
+     * dirty/pending tracking must snapshot that image as each
+     * flush/fence executes. Deferred (batched) processing would let
+     * later writes bleed into earlier writeback snapshots.
+     */
+    bool requiresSynchronousDelivery() const override { return true; }
+
     /** Reset all state to a zeroed, clean device. */
     void reset();
 

@@ -28,6 +28,13 @@ class TraceRecorder : public TraceSink
 
     void handle(const Event &event) override { events_.push_back(event); }
 
+    /** Batched dispatch appends the whole run in one go. */
+    void
+    handleBatch(const Event *events, std::size_t count) override
+    {
+        events_.insert(events_.end(), events, events + count);
+    }
+
     const std::vector<Event> &events() const { return events_; }
 
     const NameTable *names() const { return names_; }

@@ -1,7 +1,8 @@
 #include "trace/runtime.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -38,15 +39,27 @@ toString(FlushKind kind)
     return "unknown";
 }
 
+const char *
+toString(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::PerEvent: return "per-event";
+      case DispatchMode::Batched:  return "batched";
+      case DispatchMode::Async:    return "async";
+    }
+    return "unknown";
+}
+
 std::uint32_t
 NameTable::intern(const std::string &name)
 {
-    for (std::uint32_t i = 0; i < names_.size(); ++i) {
-        if (names_[i] == name)
-            return i;
-    }
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
     names_.push_back(name);
-    return static_cast<std::uint32_t>(names_.size() - 1);
+    index_.emplace(name, id);
+    return id;
 }
 
 const std::string &
@@ -57,26 +70,200 @@ NameTable::name(std::uint32_t id) const
     return names_[id];
 }
 
+/**
+ * Bounded single-producer/single-consumer pipe of event batches plus
+ * the consumer thread that drains them into the sinks. The producer is
+ * the dispatching thread (already serialized by the runtime mutex in
+ * thread-safe mode); publish() blocks while all slots are in flight,
+ * which bounds the detection lag behind the application.
+ */
+struct PmRuntime::AsyncPipe
+{
+    explicit AsyncPipe(PmRuntime &runtime)
+        : owner(runtime), consumer([this] { run(); })
+    {
+    }
+
+    ~AsyncPipe()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            stop = true;
+        }
+        cvWork.notify_all();
+        consumer.join();
+    }
+
+    /** Producer side: copy the batch into a free slot (may block). */
+    void
+    publish(const EventBatch &batch)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cvSpace.wait(lock, [&] { return count < slots; });
+        pending[head].assign(batch.data(), batch.data() + batch.size());
+        head = (head + 1) % slots;
+        ++count;
+        cvWork.notify_one();
+    }
+
+    /** Block until every published batch has been delivered. */
+    void
+    awaitEmpty()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cvSpace.wait(lock, [&] { return count == 0 && !busy; });
+    }
+
+    void
+    run()
+    {
+        std::vector<Event> work;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cvWork.wait(lock, [&] { return count > 0 || stop; });
+                if (count == 0) {
+                    if (stop)
+                        return;
+                    continue;
+                }
+                work.swap(pending[tail]);
+                tail = (tail + 1) % slots;
+                --count;
+                busy = true;
+            }
+            cvSpace.notify_all();
+            owner.deliver(work.data(), work.size());
+            work.clear();
+            {
+                std::lock_guard<std::mutex> lock(m);
+                busy = false;
+            }
+            cvSpace.notify_all();
+        }
+    }
+
+    static constexpr std::size_t slots = 8;
+
+    PmRuntime &owner;
+    std::array<std::vector<Event>, slots> pending;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    std::size_t count = 0;
+    /** True while the consumer is delivering a popped batch. */
+    bool busy = false;
+    bool stop = false;
+    std::mutex m;
+    std::condition_variable cvWork;
+    std::condition_variable cvSpace;
+    /** Last member: starts consuming as soon as the pipe exists. */
+    std::thread consumer;
+};
+
+PmRuntime::PmRuntime()
+{
+    for (auto &strand : strandByThread_)
+        strand.store(noStrand, std::memory_order_relaxed);
+}
+
+PmRuntime::~PmRuntime()
+{
+    // Deliver anything still buffered so no mode loses events; the
+    // pipe destructor joins the consumer thread.
+    drain();
+    pipe_.reset();
+}
+
+void
+PmRuntime::setDispatchMode(DispatchMode mode)
+{
+    if (mode == mode_)
+        return;
+    drain();
+    pipe_.reset();
+    mode_ = mode;
+    if (mode_ == DispatchMode::Async)
+        pipe_ = std::make_unique<AsyncPipe>(*this);
+}
+
+void
+PmRuntime::setBatchCapacity(std::size_t capacity)
+{
+    drain();
+    batchCapacity_ = capacity ? capacity : 1;
+    batch_.setCapacity(batchCapacity_);
+    for (auto &slot : threadBatches_) {
+        if (slot)
+            slot->setCapacity(batchCapacity_);
+    }
+}
+
+void
+PmRuntime::drain()
+{
+    if (mode_ == DispatchMode::PerEvent)
+        return;
+    // Producers must be quiescent (threads joined) at drain points;
+    // flush order across threads is arbitrary, like any cross-thread
+    // interleaving.
+    for (auto &slot : threadBatches_) {
+        if (slot)
+            flushThreadBatch(*slot);
+    }
+    if (threadSafe_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flushLocked();
+    } else {
+        flushLocked();
+    }
+    if (pipe_)
+        pipe_->awaitEmpty();
+}
+
 void
 PmRuntime::attach(TraceSink *sink)
 {
     if (!sink)
         panic("PmRuntime::attach: null sink");
+    drain();
     sinks_.push_back(sink);
     if (sink->isDbiBased())
         ++dbiSinks_;
+    rebuildPartition();
     sink->attached(names_);
 }
 
 void
 PmRuntime::detach(TraceSink *sink)
 {
+    drain();
     const auto it = std::find(sinks_.begin(), sinks_.end(), sink);
     if (it == sinks_.end())
         return;
     if (sink->isDbiBased())
         --dbiSinks_;
     sinks_.erase(it);
+    rebuildPartition();
+}
+
+void
+PmRuntime::rebuildPartition()
+{
+    batchSinks_.clear();
+    syncSinks_.clear();
+    dbiBatchSinks_ = 0;
+    dbiSyncSinks_ = 0;
+    for (TraceSink *sink : sinks_) {
+        if (sink->requiresSynchronousDelivery()) {
+            syncSinks_.push_back(sink);
+            if (sink->isDbiBased())
+                ++dbiSyncSinks_;
+        } else {
+            batchSinks_.push_back(sink);
+            if (sink->isDbiBased())
+                ++dbiBatchSinks_;
+        }
+    }
 }
 
 void
@@ -99,6 +286,123 @@ PmRuntime::appOp(std::uint32_t weight)
         dbiSpin(weight * dbiOpCost_);
 }
 
+bool
+PmRuntime::isBoundary(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Store:
+      case EventKind::Flush:
+      case EventKind::TxLog:
+        return false;
+      default:
+        return true;
+    }
+}
+
+void
+PmRuntime::deliver(const Event *events, std::size_t count)
+{
+    if (count == 0)
+        return;
+    // Buffered-instrumentation cost model: batched dispatch pays one
+    // clean-call charge per drained buffer (the per-event append tax
+    // was already charged at enqueue). In Async mode this runs on the
+    // consumer thread, off the application's critical path.
+    if (dbiBatchSinks_ > 0)
+        dbiSpin(dbiEventCost_);
+    for (TraceSink *sink : batchSinks_)
+        sink->handleBatch(events, count);
+}
+
+void
+PmRuntime::flushLocked()
+{
+    if (batch_.empty())
+        return;
+    if (pipe_) {
+        pipe_->publish(batch_);
+        batch_.clear();
+        return;
+    }
+    deliver(batch_.data(), batch_.size());
+    batch_.clear();
+}
+
+void
+PmRuntime::enqueueLocked(Event &event)
+{
+    if (threadSafe_) {
+        // Threads on the per-thread batch path bump seq_ atomically, so
+        // every writer must (mixing plain and atomic access races).
+        std::atomic_ref<SeqNum> seq(seq_);
+        event.seq = seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    } else {
+        event.seq = ++seq_;
+    }
+    if (mode_ == DispatchMode::PerEvent) {
+        // Unbuffered instrumentation: every event is a full clean call
+        // out of translated code.
+        if (dbiSinks_ > 0)
+            dbiSpin(dbiEventCost_);
+        for (TraceSink *sink : sinks_)
+            sink->handle(event);
+        return;
+    }
+    // Sinks coupled synchronously to the application (the device
+    // model, annotation checkers, cross-failure verifiers) always see
+    // events inline, in dispatch order — deferring them would let
+    // program-side state run ahead of their view of the stream.
+    if (!syncSinks_.empty()) {
+        if (dbiSyncSinks_ > 0)
+            dbiSpin(dbiEventCost_);
+        for (TraceSink *sink : syncSinks_)
+            sink->handle(event);
+    }
+    // Buffered instrumentation: the translated code only pays a short
+    // inline buffer-append stub per event.
+    if (dbiBatchSinks_ > 0)
+        dbiSpin(dbiAppendCost_);
+    batch_.push(event);
+    // Ordering boundaries flush so sink state is coherent with the
+    // application at every synchronization point; a full batch flushes
+    // to cap buffering between boundaries. Async mode skips boundary
+    // flushes: its sinks are only coherent at drain() barriers anyway,
+    // and full batches keep the pipe's per-publish cost amortized.
+    if (batch_.full() || (!pipe_ && isBoundary(event.kind)))
+        flushLocked();
+}
+
+void
+PmRuntime::dispatchBatchedThreadSafe(Event &event)
+{
+    EventBatch *batch = threadBatchFor(event.thread);
+    if (!batch) {
+        // Overflow ThreadIds (beyond the lock-free array) share batch_
+        // under the mutex — correct, just not the fast path.
+        std::lock_guard<std::mutex> lock(mutex_);
+        enqueueLocked(event);
+        return;
+    }
+    std::atomic_ref<SeqNum> seq(seq_);
+    event.seq = seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Synchronously-coupled sinks still get per-event delivery under
+    // the mutex; only the batching-tolerant sinks ride the lock-free
+    // per-thread batch. None of the perf-path configurations attach a
+    // sync sink, so the fast path stays lock-free where it matters.
+    if (!syncSinks_.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dbiSyncSinks_ > 0)
+            dbiSpin(dbiEventCost_);
+        for (TraceSink *sink : syncSinks_)
+            sink->handle(event);
+    }
+    if (dbiBatchSinks_ > 0)
+        dbiSpin(dbiAppendCost_);
+    batch->push(event);
+    if (batch->full() || (!pipe_ && isBoundary(event.kind)))
+        flushThreadBatch(*batch);
+}
+
 void
 PmRuntime::dispatch(Event event)
 {
@@ -110,20 +414,68 @@ PmRuntime::dispatch(Event event)
         seq.fetch_add(1, std::memory_order_relaxed);
         return;
     }
-    if (threadSafe_) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (dbiSinks_ > 0)
-            dbiSpin(dbiEventCost_);
-        event.seq = ++seq_;
-        for (TraceSink *sink : sinks_)
-            sink->handle(event);
-    } else {
-        if (dbiSinks_ > 0)
-            dbiSpin(dbiEventCost_);
-        event.seq = ++seq_;
-        for (TraceSink *sink : sinks_)
-            sink->handle(event);
+    if (!threadSafe_) {
+        enqueueLocked(event);
+        return;
     }
+    if (mode_ == DispatchMode::PerEvent) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        enqueueLocked(event);
+        return;
+    }
+    // Thread-safe batched/async: append to the calling thread's own
+    // batch without a lock; the sink mutex is taken once per flushed
+    // batch instead of once per event.
+    dispatchBatchedThreadSafe(event);
+}
+
+EventBatch *
+PmRuntime::threadBatchFor(ThreadId thread)
+{
+    if (thread < 0 || thread >= maxTrackedThreads)
+        return nullptr;
+    auto &slot = threadBatches_[static_cast<std::size_t>(thread)];
+    if (!slot)
+        slot = std::make_unique<EventBatch>(batchCapacity_);
+    return slot.get();
+}
+
+void
+PmRuntime::flushThreadBatch(EventBatch &batch)
+{
+    if (batch.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pipe_) {
+        pipe_->publish(batch);
+        batch.clear();
+        return;
+    }
+    deliver(batch.data(), batch.size());
+    batch.clear();
+}
+
+StrandId
+PmRuntime::strandOf(ThreadId thread) const
+{
+    if (thread >= 0 && thread < maxTrackedThreads)
+        return strandByThread_[static_cast<std::size_t>(thread)].load(
+            std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(strandMutex_);
+    const auto it = strandOverflow_.find(thread);
+    return it == strandOverflow_.end() ? noStrand : it->second;
+}
+
+void
+PmRuntime::setStrand(ThreadId thread, StrandId strand)
+{
+    if (thread >= 0 && thread < maxTrackedThreads) {
+        strandByThread_[static_cast<std::size_t>(thread)].store(
+            strand, std::memory_order_relaxed);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(strandMutex_);
+    strandOverflow_[thread] = strand;
 }
 
 void
@@ -132,7 +484,7 @@ PmRuntime::store(Addr addr, std::uint32_t size, ThreadId thread)
     Event e;
     e.kind = EventKind::Store;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);
@@ -146,7 +498,7 @@ PmRuntime::flush(Addr addr, std::uint32_t size, FlushKind kind,
     e.kind = EventKind::Flush;
     e.flushKind = kind;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);
@@ -158,7 +510,7 @@ PmRuntime::fence(ThreadId thread)
     Event e;
     e.kind = EventKind::Fence;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     dispatch(e);
 }
 
@@ -168,7 +520,7 @@ PmRuntime::epochBegin(ThreadId thread)
     Event e;
     e.kind = EventKind::EpochBegin;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     dispatch(e);
 }
 
@@ -178,14 +530,14 @@ PmRuntime::epochEnd(ThreadId thread)
     Event e;
     e.kind = EventKind::EpochEnd;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     dispatch(e);
 }
 
 void
 PmRuntime::strandBegin(StrandId strand, ThreadId thread)
 {
-    currentStrand_ = strand;
+    setStrand(thread, strand);
     Event e;
     e.kind = EventKind::StrandBegin;
     e.thread = thread;
@@ -201,7 +553,7 @@ PmRuntime::strandEnd(StrandId strand, ThreadId thread)
     e.thread = thread;
     e.strand = strand;
     dispatch(e);
-    currentStrand_ = noStrand;
+    setStrand(thread, noStrand);
 }
 
 void
@@ -210,7 +562,7 @@ PmRuntime::joinStrand(ThreadId thread)
     Event e;
     e.kind = EventKind::JoinStrand;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     dispatch(e);
 }
 
@@ -220,7 +572,7 @@ PmRuntime::txLog(Addr addr, std::uint32_t size, ThreadId thread)
     Event e;
     e.kind = EventKind::TxLog;
     e.thread = thread;
-    e.strand = currentStrand_;
+    e.strand = strandOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);
@@ -244,6 +596,10 @@ PmRuntime::programEnd()
     Event e;
     e.kind = EventKind::ProgramEnd;
     dispatch(e);
+    // The blocking barrier of the async pipeline: finalize rules read
+    // detector state, so everything must be delivered before callers
+    // inspect the sinks.
+    drain();
 }
 
 } // namespace pmdb

@@ -10,20 +10,70 @@
  * attaching only NulgrindSink measures pure instrumentation overhead
  * (the paper's "Nulgrind" baseline); attaching a detector measures that
  * detector's debugging overhead.
+ *
+ * Dispatch runs in one of three modes (setDispatchMode):
+ *
+ *  - PerEvent (default): every event is delivered to every sink
+ *    immediately — the seed behavior, required by sinks whose state is
+ *    queried synchronously between events (PMTest annotations,
+ *    XFDetector cross-failure verifiers reading the device image).
+ *  - Batched: events accumulate in a fixed-capacity EventBatch and are
+ *    flushed to sinks when the batch fills, at every ordering boundary
+ *    (fence / epoch / strand / join / register / program-end), and at
+ *    attach()/detach()/drain(). One virtual handleBatch() per sink per
+ *    batch replaces one virtual handle() per sink per event, and the
+ *    DBI cost model charges its per-event clean call once per batch
+ *    (buffered instrumentation: events pay only a short inline
+ *    buffer-append stub). In thread-safe mode each
+ *    thread accumulates into its own lock-free batch and the sink mutex
+ *    is taken once per batch flush instead of once per event (each
+ *    ThreadId must be driven by at most one OS thread, which is how
+ *    every workload in this repository uses the API).
+ *  - Async: batches are published to a fixed-size ring and drained by a
+ *    consumer thread, overlapping detection with workload execution.
+ *    Async batches flush only at capacity and at drain() — sink state
+ *    is coherent only at drain points anyway, so per-boundary publishes
+ *    would buy nothing but condition-variable traffic. drain() (called
+ *    by programEnd()) is the blocking barrier.
+ *
+ * Because batches are flushed in stream order and each sink receives
+ * events in exactly per-event order, detector results for any
+ * single-threaded event stream are bit-identical across the three
+ * modes (tests/test_dispatch.cc asserts this). Multi-threaded streams
+ * keep per-thread event order but deliver cross-thread interleavings
+ * at batch rather than event granularity.
  */
 
 #ifndef PMDB_TRACE_RUNTIME_HH
 #define PMDB_TRACE_RUNTIME_HH
 
+#include <array>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "trace/batch.hh"
 #include "trace/event.hh"
 #include "trace/sink.hh"
 
 namespace pmdb
 {
+
+/** How PmRuntime delivers events to its sinks. */
+enum class DispatchMode
+{
+    /** Deliver each event immediately (seed semantics). */
+    PerEvent,
+    /** Accumulate into an EventBatch; flush at capacity/boundaries. */
+    Batched,
+    /** Batched, with delivery on a consumer thread (SPSC ring). */
+    Async,
+};
+
+const char *toString(DispatchMode mode);
 
 /**
  * Dispatches instrumented PM operations to attached sinks.
@@ -37,19 +87,58 @@ namespace pmdb
 class PmRuntime
 {
   public:
-    PmRuntime() = default;
+    PmRuntime();
+    ~PmRuntime();
 
     PmRuntime(const PmRuntime &) = delete;
     PmRuntime &operator=(const PmRuntime &) = delete;
 
-    /** Attach an event consumer. The runtime does not take ownership. */
+    /** Attach an event consumer (drains pending events first). */
     void attach(TraceSink *sink);
 
-    /** Detach a previously attached consumer. */
+    /** Detach a previously attached consumer (drains first). */
     void detach(TraceSink *sink);
 
     /** Serialize event dispatch across threads. */
     void setThreadSafe(bool on) { threadSafe_ = on; }
+
+    /** @name Dispatch pipeline configuration. */
+    /** @{ */
+
+    /** Select the dispatch mode; switching drains pending events. */
+    void setDispatchMode(DispatchMode mode);
+
+    /** Convenience: toggle Batched mode (off returns to PerEvent). */
+    void setBatched(bool on)
+    {
+        setDispatchMode(on ? DispatchMode::Batched
+                           : DispatchMode::PerEvent);
+    }
+
+    /**
+     * Toggle the async pipeline: batches drain on a consumer thread so
+     * detection overlaps workload execution. Turning async off falls
+     * back to synchronous Batched mode.
+     */
+    void setAsync(bool on)
+    {
+        setDispatchMode(on ? DispatchMode::Async : DispatchMode::Batched);
+    }
+
+    /** Batch capacity for Batched/Async modes (drains, then resizes). */
+    void setBatchCapacity(std::size_t capacity);
+
+    DispatchMode dispatchMode() const { return mode_; }
+
+    /**
+     * Flush the pending batch and, in Async mode, block until the
+     * consumer thread has delivered everything published so far. After
+     * drain() returns, every sink has observed every event issued
+     * before the call. No-op in PerEvent mode.
+     */
+    void drain();
+
+    /** @} */
 
     /**
      * Mark one application-level operation (a request, an insert).
@@ -60,12 +149,24 @@ class PmRuntime
      */
     void appOp(std::uint32_t weight = 1);
 
-    /** Calibrate the DBI cost model (spin units; see appOp). */
+    /**
+     * Calibrate the DBI cost model (spin units; see appOp).
+     *
+     * @p per_event is the clean-call charge: the register save/restore
+     * and callout that unbuffered instrumentation pays on *every*
+     * event, and that buffered (Batched/Async) dispatch pays once per
+     * drained buffer. @p per_append is the short inline buffer-append
+     * stub that buffered instrumentation pays per event instead — the
+     * few translated instructions that spill an event record into the
+     * trace buffer (cf. trace-buffer designs such as drcachesim's).
+     */
     void
-    setDbiCosts(std::uint32_t per_event, std::uint32_t per_app_op)
+    setDbiCosts(std::uint32_t per_event, std::uint32_t per_app_op,
+                std::uint32_t per_append = 4)
     {
         dbiEventCost_ = per_event;
         dbiOpCost_ = per_app_op;
+        dbiAppendCost_ = per_append;
     }
 
     /** @name Instrumented operations (Section 2.1 / Table 2). */
@@ -87,7 +188,7 @@ class PmRuntime
     /** Epoch section end (TX_END); emits the section's closing barrier. */
     void epochEnd(ThreadId thread = 0);
 
-    /** Strand section begin; subsequent events carry @p strand. */
+    /** Strand section begin; subsequent events of @p thread carry @p strand. */
     void strandBegin(StrandId strand, ThreadId thread = 0);
 
     /** Strand section end. */
@@ -107,7 +208,7 @@ class PmRuntime
     void registerPmem(const std::string &name, Addr addr,
                       std::uint32_t size);
 
-    /** Signal end of program; sinks run their finalize rules. */
+    /** Signal end of program; drains, and sinks run finalize rules. */
     void programEnd();
 
     /** @} */
@@ -117,19 +218,75 @@ class PmRuntime
 
     const NameTable &names() const { return names_; }
 
+    /** Open strand of @p thread; noStrand outside strand sections. */
+    StrandId strandOf(ThreadId thread) const;
+
   private:
+    /** Bounded SPSC pipe + consumer thread for Async mode. */
+    struct AsyncPipe;
+
+    /** Threads whose strand state lives in the lock-free array. */
+    static constexpr ThreadId maxTrackedThreads = 256;
+
     void dispatch(Event event);
+    void enqueueLocked(Event &event);
+    void dispatchBatchedThreadSafe(Event &event);
+    void flushLocked();
+    /** Deliver a per-thread batch: sink mutex once for the whole batch. */
+    void flushThreadBatch(EventBatch &batch);
+    /** Lock-free per-thread batch; null for overflow ThreadIds. */
+    EventBatch *threadBatchFor(ThreadId thread);
+    void deliver(const Event *events, std::size_t count);
+    /** Recompute batchSinks_/syncSinks_ after attach/detach. */
+    void rebuildPartition();
+    void setStrand(ThreadId thread, StrandId strand);
+    static bool isBoundary(EventKind kind);
     static void dbiSpin(std::uint32_t units);
 
     std::vector<TraceSink *> sinks_;
-    /** Number of attached DBI-based sinks. */
+    /**
+     * sinks_ partitioned by delivery policy: batchSinks_ receive
+     * handleBatch() in Batched/Async mode; syncSinks_
+     * (requiresSynchronousDelivery) always receive handle() inline at
+     * dispatch, interleaved with the application.
+     */
+    std::vector<TraceSink *> batchSinks_;
+    std::vector<TraceSink *> syncSinks_;
+    /** Number of attached DBI-based sinks (total / per partition). */
     int dbiSinks_ = 0;
+    int dbiBatchSinks_ = 0;
+    int dbiSyncSinks_ = 0;
     std::uint32_t dbiEventCost_ = 25;
     std::uint32_t dbiOpCost_ = 400;
+    /** Inline buffer-append charge per event in Batched/Async modes. */
+    std::uint32_t dbiAppendCost_ = 4;
     NameTable names_;
     SeqNum seq_ = 0;
-    /** Strand id of the currently open strand per thread; noStrand if none. */
-    StrandId currentStrand_ = noStrand;
+
+    DispatchMode mode_ = DispatchMode::PerEvent;
+    EventBatch batch_;
+    std::size_t batchCapacity_ = defaultBatchCapacity;
+    /**
+     * Per-thread accumulation batches for thread-safe Batched/Async
+     * dispatch, created lazily by the owning thread. Only the thread
+     * driving that ThreadId touches its slot while events flow; drain()
+     * walks all slots and assumes producers are quiescent (workloads
+     * join their threads before programEnd()).
+     */
+    std::array<std::unique_ptr<EventBatch>, maxTrackedThreads>
+        threadBatches_;
+    std::unique_ptr<AsyncPipe> pipe_;
+
+    /**
+     * Strand id of the currently open strand per thread; noStrand if
+     * none. Small ThreadIds use a lock-free atomic array so the hot
+     * event-building path never takes a lock; larger ids fall back to a
+     * mutex-guarded map.
+     */
+    std::array<std::atomic<StrandId>, maxTrackedThreads> strandByThread_;
+    std::unordered_map<ThreadId, StrandId> strandOverflow_;
+    mutable std::mutex strandMutex_;
+
     bool threadSafe_ = false;
     std::mutex mutex_;
 };

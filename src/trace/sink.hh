@@ -6,8 +6,10 @@
 #ifndef PMDB_TRACE_SINK_HH
 #define PMDB_TRACE_SINK_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/event.hh"
@@ -32,6 +34,8 @@ class NameTable
 
   private:
     std::vector<std::string> names_;
+    /** name → id index so intern() is O(1) amortized, not O(n). */
+    std::unordered_map<std::string, std::uint32_t> index_;
 };
 
 /**
@@ -51,6 +55,19 @@ class TraceSink
     virtual void handle(const Event &event) = 0;
 
     /**
+     * Deliver a batch of events in stream order. The runtime uses this
+     * for batched/async dispatch; the default implementation preserves
+     * per-event semantics, so sinks only override it when they can
+     * process a run of events cheaper than event-by-event.
+     */
+    virtual void
+    handleBatch(const Event *events, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            handle(events[i]);
+    }
+
+    /**
      * True for tools that rely on dynamic binary instrumentation
      * (Valgrind in the paper: Nulgrind, Pmemcheck, PMDebugger,
      * XFDetector). While any such sink is attached, the runtime
@@ -61,6 +78,18 @@ class TraceSink
      * PMTest is the fastest tool in the comparison.
      */
     virtual bool isDbiBased() const { return false; }
+
+    /**
+     * True for sinks whose state is coupled synchronously to the
+     * application between events — the PM device model (the program
+     * writes its image directly, so dirty/pending tracking must advance
+     * in lockstep), PMTest (annotation checkers run mid-stream) and
+     * XFDetector (cross-failure verifiers read the device crash image
+     * during handling). The runtime delivers to such sinks per event
+     * even in Batched/Async mode; only batching-tolerant sinks are fed
+     * through handleBatch().
+     */
+    virtual bool requiresSynchronousDelivery() const { return false; }
 };
 
 } // namespace pmdb

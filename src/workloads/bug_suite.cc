@@ -33,6 +33,10 @@ void
 CaseEnv::checkCrossFailure(const PmemDevice &device,
                            const CrossFailureChecker::Verifier &verify)
 {
+    // The crash image must reflect every event issued so far; under
+    // batched/async dispatch the device sink may still have events in
+    // flight, so force delivery before simulating the crash.
+    runtime.drain();
     if (pmdebugger) {
         CrossFailureChecker::check(*pmdebugger, device, verify,
                                    CrashPolicy::DropPending);
