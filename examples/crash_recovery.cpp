@@ -52,7 +52,8 @@ main()
                        "reached the persistence domain";
             }
             return "";
-        });
+        },
+        {.seq = runtime.eventCount(), .policy = CrashPolicy::DropPending});
     std::printf("Cross-failure check: %s\n",
                 found ? "INCONSISTENT (bug reported)" : "consistent");
 

@@ -5,18 +5,19 @@ namespace pmdb
 
 bool
 CrossFailureChecker::check(PmDebugger &debugger, const PmemDevice &device,
-                           const Verifier &verify, CrashPolicy policy,
-                           SeqNum seq)
+                           const Verifier &verify, const CrashPointSpec &at)
 {
     CrashSimulator sim(device);
-    std::vector<std::uint8_t> image = sim.crashImage(policy);
+    std::vector<std::uint8_t> image =
+        at.landedLines ? sim.partialImage(*at.landedLines)
+                       : sim.crashImage(at.policy, at.seed);
     const std::string inconsistency = verify(image);
     if (inconsistency.empty())
         return false;
 
     BugReport report;
     report.type = BugType::CrossFailureSemantic;
-    report.seq = seq;
+    report.seq = at.seq;
     report.detail = inconsistency;
     debugger.reportBug(report);
     return true;

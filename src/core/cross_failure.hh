@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,28 @@
 
 namespace pmdb
 {
+
+/**
+ * An explicit crash point: where in the trace the failure is injected
+ * (seq, for bug-report provenance) and which flushed-but-unfenced
+ * lines reach durability at that instant.
+ *
+ * When @ref landedLines is set, exactly those pending cache lines land
+ * (CrashSimulator::partialImage); otherwise the whole pending set is
+ * resolved by @ref policy — DropPending, CommitPending, or the seeded
+ * RandomPending coin-flip.
+ */
+struct CrashPointSpec
+{
+    /** Sequence number of the injected failure, for provenance. */
+    SeqNum seq = 0;
+    /** Pending-set resolution when landedLines is not given. */
+    CrashPolicy policy = CrashPolicy::DropPending;
+    /** Exact pending-line subset (cache-line indices) that lands. */
+    std::optional<std::vector<std::uint64_t>> landedLines;
+    /** Seed for CrashPolicy::RandomPending. */
+    std::uint64_t seed = 1;
+};
 
 /** Runs recovery verifiers against simulated crash images. */
 class CrossFailureChecker
@@ -40,15 +63,14 @@ class CrossFailureChecker
         std::function<std::string(const std::vector<std::uint8_t> &image)>;
 
     /**
-     * Materialize @p device's crash image under @p policy and run
+     * Materialize @p device's crash image at crash point @p at and run
      * @p verify over it. On inconsistency, report a
-     * CrossFailureSemantic bug through @p debugger. Returns true if a
-     * bug was found.
+     * CrossFailureSemantic bug through @p debugger, stamped with the
+     * crash point's seq. Returns true if a bug was found.
      */
     static bool check(PmDebugger &debugger, const PmemDevice &device,
                       const Verifier &verify,
-                      CrashPolicy policy = CrashPolicy::DropPending,
-                      SeqNum seq = 0);
+                      const CrashPointSpec &at = {});
 };
 
 } // namespace pmdb

@@ -1,0 +1,97 @@
+#include "crashsim/capture.hh"
+
+namespace pmdb
+{
+
+void
+CrashsimSession::adopt(const PmemDevice &device)
+{
+    release();
+    device_ = &device;
+    log_ = CrashPointLog{};
+    pending_.clear();
+    log_.baseline = device.persistedBytes();
+    // Lines flushed before adoption but not yet fenced are still in
+    // flight; seed the mirror so the first boundary's delta is exact.
+    for (const auto &[line, snapshot] : device.pendingLines()) {
+        CapturedLine cl;
+        cl.line = line;
+        cl.flushSeq = snapshot.flushSeq;
+        cl.data = snapshot.data;
+        pending_[line] = cl;
+    }
+    device.setPersistenceObserver(this);
+}
+
+void
+CrashsimSession::adopt(const PmemDevice &device,
+                       CrossFailureChecker::Verifier verify)
+{
+    adopt(device);
+    setVerifier(std::move(verify));
+}
+
+void
+CrashsimSession::release()
+{
+    if (device_) {
+        device_->setPersistenceObserver(nullptr);
+        device_ = nullptr;
+    }
+}
+
+void
+CrashsimSession::onLineQueued(std::uint64_t line,
+                              const PendingLine &snapshot)
+{
+    CapturedLine cl;
+    cl.line = line;
+    cl.flushSeq = snapshot.flushSeq;
+    cl.data = snapshot.data;
+    pending_[line] = cl;
+
+    if (options_.captureAtFlush) {
+        // A CLF is a crash point too: the states reachable here can
+        // differ from the enclosing boundary's when a later store +
+        // CLF refreshes a line's snapshot before the fence.
+        Event event;
+        event.kind = EventKind::Flush;
+        event.seq = snapshot.flushSeq;
+        recordPoint(event, device_ && device_->epochDepth() > 0,
+                    /*drains=*/false);
+    }
+}
+
+void
+CrashsimSession::onBoundary(const Event &event, int epoch_depth)
+{
+    // An EpochEnd's pending set belongs to the epoch it closes.
+    const bool epoch_open =
+        epoch_depth > 0 || event.kind == EventKind::EpochEnd;
+    recordPoint(event, epoch_open, /*drains=*/true);
+    pending_.clear();
+}
+
+void
+CrashsimSession::recordPoint(const Event &event, bool epoch_open,
+                             bool drains)
+{
+    CrashPoint point;
+    point.seq = event.seq;
+    point.boundary = event.kind;
+    point.epochOpen = epoch_open;
+    point.drains = drains;
+    point.pendingBegin = log_.lines.size();
+    for (const auto &[line, cl] : pending_)
+        log_.lines.push_back(cl);
+    point.pendingEnd = log_.lines.size();
+    log_.points.push_back(point);
+}
+
+CrashsimResult
+CrashsimSession::explore(PmDebugger *debugger) const
+{
+    return exploreCrashPoints(log_, verify_, options_, debugger);
+}
+
+} // namespace pmdb

@@ -239,14 +239,26 @@ Transaction::abort()
 std::vector<TxRecovery::RecoveredEntry>
 TxRecovery::rollback(const PmemPool &pool, std::vector<std::uint8_t> &image)
 {
+    return rollbackImage(pool.logRegion_, pool.logRegionSize_, image);
+}
+
+TxRecovery::TxLogRegion
+TxRecovery::logRegionOf(const PmemPool &pool)
+{
+    return {pool.logRegion_, pool.logRegionSize_};
+}
+
+std::vector<TxRecovery::RecoveredEntry>
+TxRecovery::rollbackImage(Addr log_base, std::size_t log_region_size,
+                          std::vector<std::uint8_t> &image)
+{
     std::vector<RecoveredEntry> recovered;
-    const Addr log_base = pool.logRegion_;
     if (log_base + logHeaderBytes > image.size())
         return recovered;
 
     std::uint64_t log_bytes = 0;
     std::memcpy(&log_bytes, image.data() + log_base, sizeof(log_bytes));
-    if (log_bytes > pool.logRegionSize_ - logHeaderBytes)
+    if (log_bytes > log_region_size - logHeaderBytes)
         return recovered; // corrupt length word: nothing to roll back
 
     std::size_t off = 0;

@@ -120,6 +120,13 @@ class TxRecovery
         bool checksumOk;
     };
 
+    /** Location of a pool's undo-log region, capturable by value. */
+    struct TxLogRegion
+    {
+        Addr base = 0;
+        std::size_t size = 0;
+    };
+
     /**
      * Apply intact undo entries from @p image (a crash image of
      * @p pool's address space) back into the image. Returns the
@@ -127,6 +134,18 @@ class TxRecovery
      */
     static std::vector<RecoveredEntry>
     rollback(const PmemPool &pool, std::vector<std::uint8_t> &image);
+
+    /**
+     * Pool-free variant for recovery verifiers that outlive the pool
+     * (crash-state exploration): same semantics as rollback(), keyed
+     * by a log region captured earlier via logRegionOf().
+     */
+    static std::vector<RecoveredEntry>
+    rollbackImage(Addr log_region, std::size_t log_region_size,
+                  std::vector<std::uint8_t> &image);
+
+    /** Capture @p pool's log-region location by value. */
+    static TxLogRegion logRegionOf(const PmemPool &pool);
 };
 
 /** FNV-1a checksum used for log-entry integrity. */

@@ -13,6 +13,12 @@ PmemDevice::PmemDevice(std::size_t size)
 {
 }
 
+PmemDevice::~PmemDevice()
+{
+    if (observer_)
+        observer_->onDeviceDestroyed();
+}
+
 void
 PmemDevice::checkBounds(Addr addr, std::size_t size, const char *what) const
 {
@@ -106,7 +112,7 @@ PmemDevice::isDurable(const AddrRange &range) const
 }
 
 void
-PmemDevice::flushRange(const AddrRange &range)
+PmemDevice::flushRange(const AddrRange &range, SeqNum seq)
 {
     if (range.empty())
         return;
@@ -120,12 +126,15 @@ PmemDevice::flushRange(const AddrRange &range)
         if (dirty == dirtyLines_.end() && !pendingLines_.count(line))
             continue;
         PendingLine snapshot;
+        snapshot.flushSeq = seq;
         const Addr base = line * cacheLineSize;
         std::memcpy(snapshot.data.data(), volatileImage_.data() + base,
                     cacheLineSize);
         pendingLines_[line] = snapshot;
         if (dirty != dirtyLines_.end())
             dirtyLines_.erase(dirty);
+        if (observer_)
+            observer_->onLineQueued(line, pendingLines_[line]);
     }
 }
 
@@ -148,12 +157,23 @@ PmemDevice::handle(const Event &event)
         markDirty(event.range());
         break;
       case EventKind::Flush:
-        flushRange(event.range());
+        flushRange(event.range(), event.seq);
+        break;
+      case EventKind::EpochBegin:
+        ++epochDepth_;
+        break;
+      case EventKind::EpochEnd:
+        if (epochDepth_ > 0)
+            --epochDepth_;
+        if (observer_)
+            observer_->onBoundary(event, epochDepth_);
+        drainPending();
         break;
       case EventKind::Fence:
-      case EventKind::EpochEnd:
       case EventKind::JoinStrand:
         // All of these act as durability barriers for queued writebacks.
+        if (observer_)
+            observer_->onBoundary(event, epochDepth_);
         drainPending();
         break;
       default:
@@ -168,6 +188,7 @@ PmemDevice::reset()
     std::fill(persistedImage_.begin(), persistedImage_.end(), 0);
     dirtyLines_.clear();
     pendingLines_.clear();
+    epochDepth_ = 0;
 }
 
 std::vector<std::uint8_t>
@@ -186,6 +207,21 @@ CrashSimulator::crashImage(CrashPolicy policy, std::uint64_t seed) const
             std::memcpy(image.data() + base, snapshot.data.data(),
                         cacheLineSize);
         }
+    }
+    return image;
+}
+
+std::vector<std::uint8_t>
+CrashSimulator::partialImage(
+    const std::vector<std::uint64_t> &landed_lines) const
+{
+    std::vector<std::uint8_t> image = device_.persistedImage_;
+    for (std::uint64_t line : landed_lines) {
+        auto it = device_.pendingLines_.find(line);
+        if (it == device_.pendingLines_.end())
+            continue;
+        std::memcpy(image.data() + line * cacheLineSize,
+                    it->second.data.data(), cacheLineSize);
     }
     return image;
 }

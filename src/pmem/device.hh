@@ -36,6 +36,39 @@ namespace pmdb
 struct PendingLine
 {
     std::array<std::uint8_t, cacheLineSize> data;
+    /** Sequence number of the CLF that (last) queued this snapshot. */
+    SeqNum flushSeq = 0;
+};
+
+/**
+ * Observer of persistence-domain transitions.
+ *
+ * The crash-state exploration engine (src/crashsim) installs one of
+ * these to capture crash points incrementally: it is told about each
+ * queued writeback (O(1) per CLF-touched line) and about each ordering
+ * boundary, instead of copying the whole pool image per boundary.
+ * Because the device is a synchronous sink, observers see transitions
+ * in exact program order under every dispatch mode.
+ */
+class PersistenceObserver
+{
+  public:
+    virtual ~PersistenceObserver() = default;
+
+    /** A CLF queued (or refreshed) line @p line's writeback snapshot. */
+    virtual void onLineQueued(std::uint64_t line,
+                              const PendingLine &snapshot) = 0;
+
+    /**
+     * An ordering boundary (Fence / EpochEnd / JoinStrand) is about to
+     * drain the pending-writeback queue. @p epoch_depth is the epoch
+     * nesting depth the crash point lies in (for EpochEnd, after the
+     * section closed).
+     */
+    virtual void onBoundary(const Event &event, int epoch_depth) = 0;
+
+    /** The observed device is being destroyed; drop any reference. */
+    virtual void onDeviceDestroyed() {}
 };
 
 /**
@@ -52,6 +85,8 @@ class PmemDevice : public TraceSink
   public:
     /** Create a device of @p size bytes, zero-initialized. */
     explicit PmemDevice(std::size_t size);
+
+    ~PmemDevice() override;
 
     std::size_t size() const { return volatileImage_.size(); }
 
@@ -91,6 +126,34 @@ class PmemDevice : public TraceSink
     std::size_t dirtyLineCount() const { return dirtyLines_.size(); }
     std::size_t pendingLineCount() const { return pendingLines_.size(); }
 
+    /** The full durable image (what a DropPending crash would leave). */
+    const std::vector<std::uint8_t> &persistedBytes() const
+    {
+        return persistedImage_;
+    }
+
+    /** Writebacks initiated but not yet fenced, keyed by line index. */
+    const std::unordered_map<std::uint64_t, PendingLine> &
+    pendingLines() const
+    {
+        return pendingLines_;
+    }
+
+    /** Epoch (TX_BEGIN/TX_END) nesting depth seen by the device. */
+    int epochDepth() const { return epochDepth_; }
+
+    /**
+     * Attach (or detach, with nullptr) a persistence observer.
+     * Observation never alters device-visible state, so installing one
+     * is const; exactly one observer is supported and it must outlive
+     * the device or detach first (the device signals its destruction
+     * via PersistenceObserver::onDeviceDestroyed).
+     */
+    void setPersistenceObserver(PersistenceObserver *observer) const
+    {
+        observer_ = observer;
+    }
+
     /** @} */
 
     /** TraceSink: consumes Flush / Fence; ignores other events. */
@@ -113,7 +176,7 @@ class PmemDevice : public TraceSink
 
     void checkBounds(Addr addr, std::size_t size, const char *what) const;
     void markDirty(const AddrRange &range);
-    void flushRange(const AddrRange &range);
+    void flushRange(const AddrRange &range, SeqNum seq);
     void drainPending();
 
     std::vector<std::uint8_t> volatileImage_;
@@ -122,6 +185,8 @@ class PmemDevice : public TraceSink
     std::unordered_map<std::uint64_t, bool> dirtyLines_;
     /** Writebacks initiated by a CLF but not yet fenced. */
     std::unordered_map<std::uint64_t, PendingLine> pendingLines_;
+    int epochDepth_ = 0;
+    mutable PersistenceObserver *observer_ = nullptr;
 };
 
 /** What happens to flushed-but-unfenced lines at a simulated crash. */
@@ -151,6 +216,18 @@ class CrashSimulator
      */
     std::vector<std::uint8_t> crashImage(CrashPolicy policy,
                                          std::uint64_t seed = 1) const;
+
+    /**
+     * Partial-persistence image: exactly the pending lines listed in
+     * @p landed_lines (cache-line indices) reach durability; every
+     * other pending line is lost. Non-pending entries are ignored —
+     * already-durable lines are durable regardless, and dirty,
+     * never-flushed lines can never land. This is the leaf operation
+     * of crash-state enumeration (x86 lets each flushed-but-unfenced
+     * line independently reach the persistence domain).
+     */
+    std::vector<std::uint8_t>
+    partialImage(const std::vector<std::uint64_t> &landed_lines) const;
 
   private:
     const PmemDevice &device_;

@@ -1,6 +1,9 @@
 #include "workloads/btree.hh"
 
+#include <cstring>
+
 #include "common/rng.hh"
+#include "crashsim/capture.hh"
 
 namespace pmdb
 {
@@ -209,6 +212,99 @@ PersistentBTree::count() const
     return pool_.load<Meta>(meta_).count;
 }
 
+namespace
+{
+
+/** Walk state for the image-level structural check. */
+struct BTreeImageWalk
+{
+    const std::vector<std::uint8_t> &image;
+    std::uint64_t reachable = 0;
+    std::uint64_t visited = 0;
+    std::string error;
+
+    void node(Addr addr, int depth)
+    {
+        using Node = PersistentBTree::Node;
+        if (!error.empty())
+            return;
+        if (addr == 0 || addr % 8 != 0 ||
+            addr + sizeof(Node) > image.size()) {
+            error = "b_tree recovery: node pointer out of bounds";
+            return;
+        }
+        if (depth > 64 || ++visited > (1u << 20)) {
+            error = "b_tree recovery: tree walk diverges (cycle?)";
+            return;
+        }
+        Node n;
+        std::memcpy(&n, image.data() + addr, sizeof(n));
+        if (n.nKeys > PersistentBTree::maxKeys) {
+            error = "b_tree recovery: node key count corrupt";
+            return;
+        }
+        for (std::uint32_t i = 1; i < n.nKeys; ++i) {
+            if (n.keys[i - 1] >= n.keys[i]) {
+                error = "b_tree recovery: node keys out of order";
+                return;
+            }
+        }
+        reachable += n.nKeys;
+        if (!n.isLeaf) {
+            for (std::uint32_t i = 0; i <= n.nKeys; ++i)
+                node(n.children[i], depth + 1);
+        }
+    }
+};
+
+std::string
+verifyBTreeImage(Addr meta_addr, const std::vector<std::uint8_t> &image)
+{
+    using Meta = PersistentBTree::Meta;
+    if (meta_addr + sizeof(Meta) > image.size())
+        return "b_tree recovery: metadata out of bounds";
+    Meta meta;
+    std::memcpy(&meta, image.data() + meta_addr, sizeof(meta));
+    if (meta.rootNode == 0)
+        return "b_tree recovery: root pointer lost";
+    BTreeImageWalk walk{image, 0, 0, {}};
+    walk.node(meta.rootNode, 0);
+    if (!walk.error.empty())
+        return walk.error;
+    if (walk.reachable != meta.count) {
+        return "b_tree recovery: reachable keys (" +
+               std::to_string(walk.reachable) +
+               ") disagree with durable count (" +
+               std::to_string(meta.count) + ")";
+    }
+    return "";
+}
+
+} // namespace
+
+CrossFailureChecker::Verifier
+btreeRecoveryVerifier(Addr meta_addr, TxRecovery::TxLogRegion log_region)
+{
+    return [meta_addr,
+            log_region](const std::vector<std::uint8_t> &image)
+               -> std::string {
+        std::uint64_t log_bytes = 0;
+        if (log_region.base + sizeof(log_bytes) <= image.size()) {
+            std::memcpy(&log_bytes, image.data() + log_region.base,
+                        sizeof(log_bytes));
+        }
+        if (log_bytes == 0)
+            return verifyBTreeImage(meta_addr, image);
+        // A crash mid-transaction: run undo-log recovery first, on a
+        // private copy (the exploration shares the image across
+        // candidates).
+        std::vector<std::uint8_t> recovered = image;
+        TxRecovery::rollbackImage(log_region.base, log_region.size,
+                                  recovered);
+        return verifyBTreeImage(meta_addr, recovered);
+    };
+}
+
 void
 BTreeWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
 {
@@ -219,6 +315,13 @@ BTreeWorkload::run(PmRuntime &runtime, const WorkloadOptions &options)
     PmemPool pool(runtime, pool_bytes, "b_tree.pool",
                   options.trackPersistence);
     PersistentBTree tree(pool, options.faults, options.pmtest);
+
+    if (options.crashsim) {
+        options.crashsim->adopt(
+            pool.device(),
+            btreeRecoveryVerifier(tree.metaAddr(),
+                                  TxRecovery::logRegionOf(pool)));
+    }
 
     Rng rng(options.seed);
     for (std::size_t i = 0; i < options.operations; ++i) {

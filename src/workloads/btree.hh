@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/cross_failure.hh"
 #include "pmdk/pool.hh"
 #include "pmdk/tx.hh"
 #include "workloads/workload.hh"
@@ -64,6 +65,9 @@ class PersistentBTree
 
     std::uint64_t count() const;
 
+    /** Address of the root metadata object. */
+    Addr metaAddr() const { return meta_; }
+
   private:
     Addr allocNode(Transaction &tx, bool leaf);
     void insertNonFull(Transaction &tx, Addr node_addr, std::uint64_t key,
@@ -89,6 +93,17 @@ class BTreeWorkload : public Workload
 
     void run(PmRuntime &runtime, const WorkloadOptions &options) override;
 };
+
+/**
+ * Self-contained recovery verifier for crash-state exploration: runs
+ * undo-log recovery over the crash image (TxRecovery::rollbackImage),
+ * then walks the recovered tree checking structural invariants (node
+ * bounds, key order, fanout) and that the number of reachable keys
+ * matches the durable metadata count. Captures everything by value, so
+ * it stays valid after the pool is destroyed.
+ */
+CrossFailureChecker::Verifier
+btreeRecoveryVerifier(Addr meta_addr, TxRecovery::TxLogRegion log_region);
 
 } // namespace pmdb
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "crashsim/capture.hh"
 #include "pmdk/pool.hh"
 #include "pmdk/tx.hh"
 #include "workloads/hashmap_atomic.hh"
@@ -17,6 +18,11 @@ void
 CaseEnv::armCrossFailure(const PmemDevice &device,
                          CrossFailureChecker::Verifier verify)
 {
+    // Crash-state exploration captures from the moment the verifier is
+    // armed: initialization persists before this point are part of the
+    // durable baseline, matching XFDetector's verifier semantics.
+    if (crashsim)
+        crashsim->adopt(device, verify);
     if (!xfdetector)
         return;
     const PmemDevice *dev = &device;
@@ -39,7 +45,7 @@ CaseEnv::checkCrossFailure(const PmemDevice &device,
     runtime.drain();
     if (pmdebugger) {
         CrossFailureChecker::check(*pmdebugger, device, verify,
-                                   CrashPolicy::DropPending);
+                                   {.seq = runtime.eventCount()});
     }
 }
 

@@ -36,6 +36,8 @@
 namespace pmdb
 {
 
+class CrashsimSession;
+
 /** Environment a bug-case scenario runs in. */
 struct CaseEnv
 {
@@ -46,12 +48,15 @@ struct CaseEnv
     PmDebugger *pmdebugger = nullptr;
     /** Null when XFDetector is not attached. */
     XfDetector *xfdetector = nullptr;
+    /** Non-null when a crashsim session should capture this case. */
+    CrashsimSession *crashsim = nullptr;
     /** False runs the correct variant (false-positive check). */
     bool buggy = true;
 
     /**
      * Register a cross-failure verifier with XFDetector (evaluated at
-     * each of its failure points against the device's crash image).
+     * each of its failure points against the device's crash image) and
+     * with the crashsim session, when one is attached.
      */
     void armCrossFailure(const PmemDevice &device,
                          CrossFailureChecker::Verifier verify);

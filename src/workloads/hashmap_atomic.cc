@@ -1,9 +1,66 @@
 #include "workloads/hashmap_atomic.hh"
 
+#include <cstring>
+
 #include "common/rng.hh"
+#include "crashsim/capture.hh"
 
 namespace pmdb
 {
+
+std::uint64_t
+hashmapAtomicTaggedValue(std::uint64_t key)
+{
+    // |1 keeps the tag nonzero even in the (astronomically unlikely)
+    // case mix64 returns 0 — a zeroed, never-persisted entry must
+    // always fail the tag check.
+    return mix64(key ^ 0x686d61746f6d6963ULL) | 1;
+}
+
+CrossFailureChecker::Verifier
+hashmapAtomicRecoveryVerifier(Addr meta_addr)
+{
+    using Meta = PersistentHashmapAtomic::Meta;
+    using Entry = PersistentHashmapAtomic::Entry;
+    return [meta_addr](const std::vector<std::uint8_t> &image)
+               -> std::string {
+        if (meta_addr + sizeof(Meta) > image.size())
+            return "hashmap_atomic recovery: metadata out of bounds";
+        Meta meta;
+        std::memcpy(&meta, image.data() + meta_addr, sizeof(meta));
+        if (meta.buckets == 0 || meta.nBuckets == 0 ||
+            meta.buckets + meta.nBuckets * sizeof(Addr) > image.size())
+            return "hashmap_atomic recovery: bucket table corrupt";
+
+        std::uint64_t steps = 0;
+        for (std::uint64_t b = 0; b < meta.nBuckets; ++b) {
+            Addr cursor = 0;
+            std::memcpy(&cursor,
+                        image.data() + meta.buckets + b * sizeof(Addr),
+                        sizeof(cursor));
+            while (cursor != 0) {
+                if (cursor % 8 != 0 ||
+                    cursor + sizeof(Entry) > image.size())
+                    return "hashmap_atomic recovery: bucket head "
+                           "dangles out of bounds";
+                if (++steps > (1u << 22))
+                    return "hashmap_atomic recovery: chain walk "
+                           "diverges (cycle?)";
+                Entry entry;
+                std::memcpy(&entry, image.data() + cursor,
+                            sizeof(entry));
+                if (entry.value != hashmapAtomicTaggedValue(entry.key)) {
+                    return "hashmap_atomic recovery: reachable entry "
+                           "for key " +
+                           std::to_string(entry.key) +
+                           " is torn or never persisted";
+                }
+                cursor = entry.next;
+            }
+        }
+        return "";
+    };
+}
 
 PersistentHashmapAtomic::PersistentHashmapAtomic(PmemPool &pool,
                                                  const FaultSet &faults,
@@ -195,10 +252,19 @@ HashmapAtomicWorkload::run(PmRuntime &runtime,
                   options.trackPersistence);
     PersistentHashmapAtomic map(pool, options.faults, options.pmtest);
 
+    if (options.crashsim) {
+        options.crashsim->adopt(
+            pool.device(), hashmapAtomicRecoveryVerifier(map.metaAddr()));
+    }
+
     Rng rng(options.seed);
     for (std::size_t i = 0; i < options.operations; ++i) {
         runtime.appOp();
-        map.insert(rng.next(), i);
+        const std::uint64_t key = rng.next();
+        // Crashsim-verified runs store the key's tag so the recovery
+        // verifier can prove each reachable entry fully persisted.
+        map.insert(key, options.crashsim ? hashmapAtomicTaggedValue(key)
+                                         : i);
     }
 
     runtime.programEnd();

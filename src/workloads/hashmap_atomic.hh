@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/cross_failure.hh"
 #include "pmdk/pool.hh"
 #include "pmdk/tx.hh"
 #include "workloads/workload.hh"
@@ -77,6 +78,9 @@ class PersistentHashmapAtomic
 
     std::uint64_t count() const;
 
+    /** Address of the root metadata object. */
+    Addr metaAddr() const { return meta_; }
+
   private:
     PmemPool &pool_;
     const FaultSet &faults_;
@@ -107,6 +111,24 @@ class HashmapAtomicWorkload : public Workload
                "hashmap_atomic.pending_bucket\n";
     }
 };
+
+/**
+ * Value crashsim-verified runs store for @p key. Tagging values with a
+ * key-derived checksum (never zero) lets the recovery verifier tell a
+ * fully persisted entry from a torn or never-flushed one.
+ */
+std::uint64_t hashmapAtomicTaggedValue(std::uint64_t key);
+
+/**
+ * Self-contained recovery verifier for crash-state exploration: walks
+ * every bucket chain in the crash image and requires each reachable
+ * entry to be intact (in bounds, value matching its key's tag). The
+ * element count is deliberately not checked — the count update is its
+ * own durable step after publication, so recovery tolerates a stale
+ * count but never a dangling or torn entry.
+ */
+CrossFailureChecker::Verifier
+hashmapAtomicRecoveryVerifier(Addr meta_addr);
 
 } // namespace pmdb
 

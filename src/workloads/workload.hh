@@ -28,6 +28,8 @@
 namespace pmdb
 {
 
+class CrashsimSession;
+
 /**
  * Named fault-injection switches. Workloads expose injection points
  * (e.g. "skip_value_flush"); the bug suite enables them to reproduce
@@ -93,6 +95,15 @@ struct WorkloadOptions
      * for free); correctness and crash tests keep it on.
      */
     bool trackPersistence = true;
+
+    /**
+     * When non-null, the workload adopts this crash-state exploration
+     * session onto its pool's device (with a workload-specific recovery
+     * verifier) before issuing operations. Supported by the workloads
+     * that ship a self-contained recovery verifier (b_tree,
+     * hashmap_atomic); others ignore it.
+     */
+    CrashsimSession *crashsim = nullptr;
 };
 
 /** A runnable evaluation workload. */

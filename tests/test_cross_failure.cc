@@ -36,7 +36,8 @@ TEST(CrossFailureTest, ConsistentStateReportsNothing)
             std::uint64_t v = 0;
             std::memcpy(&v, image.data() + a, 8);
             return v == 5 ? "" : "value lost";
-        });
+        },
+        {.seq = runtime.eventCount()});
     EXPECT_FALSE(found);
     EXPECT_EQ(debugger.bugs().total(), 0u);
 }
@@ -64,9 +65,44 @@ TEST(CrossFailureTest, InconsistencyIsReportedThroughDebugger)
             if (f == 1 && v != 77)
                 return "flag committed but value unpersisted";
             return "";
-        });
+        },
+        {.seq = runtime.eventCount()});
     EXPECT_TRUE(found);
     EXPECT_EQ(debugger.bugs().countOf(BugType::CrossFailureSemantic), 1u);
+    EXPECT_EQ(debugger.bugs().bugs().front().seq, runtime.eventCount());
+}
+
+TEST(CrossFailureTest, ExplicitLandedSubsetSelectsPendingLines)
+{
+    // Two lines flushed under the same fence window: an explicit
+    // landed-line subset must persist exactly the chosen one.
+    PmRuntime runtime;
+    PmDebugger debugger;
+    runtime.attach(&debugger);
+    PmemPool pool(runtime, 1 << 20, "xf.pool");
+
+    const Addr a = pool.alloc(64);
+    const Addr b = pool.alloc(64);
+    pool.store<std::uint64_t>(a, 11);
+    pool.store<std::uint64_t>(b, 22);
+    pool.flush(a, 8); // both pending, unfenced
+    pool.flush(b, 8);
+
+    const bool found = CrossFailureChecker::check(
+        debugger, pool.device(),
+        [a, b](const std::vector<std::uint8_t> &image) -> std::string {
+            std::uint64_t va = 0, vb = 0;
+            std::memcpy(&va, image.data() + a, 8);
+            std::memcpy(&vb, image.data() + b, 8);
+            if (vb == 22 && va != 11)
+                return "b landed without a";
+            return "";
+        },
+        {.seq = runtime.eventCount(),
+         .landedLines = std::vector<std::uint64_t>{cacheLineIndex(b)}});
+    EXPECT_TRUE(found);
+    EXPECT_EQ(debugger.bugs().countOf(BugType::CrossFailureSemantic), 1u);
+    EXPECT_EQ(debugger.bugs().bugs().front().seq, runtime.eventCount());
 }
 
 TEST(CrossFailureTest, BTreeRecoversConsistentlyFromMidTxCrash)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * pmdb_crashsim — drive the crash-state exploration engine.
+ *
+ * Usage:
+ *   pmdb_crashsim case <name|all> [options]
+ *       Run one (or every) cross-failure bug-suite case plus the
+ *       crashsim-only seeded cases, buggy and correct variants, and
+ *       report what the single-image checker vs the exploration
+ *       engine found.
+ *   pmdb_crashsim run <workload> [--ops N] [--fault NAME] [options]
+ *       Run an evaluation workload (b_tree, hashmap_atomic) with its
+ *       recovery verifier adopted and explore every crash point.
+ *
+ * Common options:
+ *   --workers N        verification worker threads (default 1)
+ *   --max-pending K    pending-line cap per crash point (default 12)
+ *   --max-images N     candidate-image cap per crash point (default 256)
+ *   --seed S           exploration schedule seed (default 1)
+ *   --flush-points     also capture a crash point at every CLF
+ *   --no-epoch-atomic  Jaaru-style sweep inside transactions too
+ *   --json             machine-readable result (run mode)
+ *
+ * Exit codes: 0 success (run mode: also when findings exist — the
+ * report is the product), 1 a case behaved unexpectedly (missed bug or
+ * false positive), 2 usage error, 3 unknown case/workload name.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/crashsim_runner.hh"
+
+namespace
+{
+
+constexpr int exitUsage = 2;
+constexpr int exitUnknownName = 3;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s case <name|all> [options]\n"
+        "       %s run <workload> [--ops N] [--fault NAME] [options]\n"
+        "options: --workers N --max-pending K --max-images N --seed S\n"
+        "         --flush-points --no-epoch-atomic --json\n",
+        argv0, argv0);
+    return exitUsage;
+}
+
+/** Cases the engine covers: suite xf cases + crashsim-only cases. */
+std::vector<const pmdb::BugCase *>
+engineCases()
+{
+    std::vector<const pmdb::BugCase *> cases =
+        pmdb::casesOfType(pmdb::BugType::CrossFailureSemantic);
+    for (const pmdb::BugCase &bug_case : pmdb::crashsimOnlyCases())
+        cases.push_back(&bug_case);
+    return cases;
+}
+
+void
+printFindings(const pmdb::CrashsimResult &result, const char *indent)
+{
+    using namespace pmdb;
+    for (const CrashsimFinding &finding : result.findings) {
+        std::string lines;
+        for (std::uint64_t line : finding.witnessLines) {
+            if (!lines.empty())
+                lines += ",";
+            lines += std::to_string(line);
+        }
+        const std::string witness = finding.witnessLines.empty()
+                                        ? "durable base image"
+                                        : "witness lines [" + lines + "]";
+        std::printf("%s%s seq %llu, %s: %s\n", indent,
+                    toString(finding.boundary),
+                    static_cast<unsigned long long>(finding.seq),
+                    witness.c_str(), finding.detail.c_str());
+    }
+}
+
+void
+printStats(const pmdb::CrashsimStats &stats, double seconds,
+           const char *indent)
+{
+    std::printf("%s%llu crash points (%llu epoch-coalesced), "
+                "%llu pending lines\n"
+                "%s%llu images enumerated, %llu deduped, "
+                "%llu verified, %llu minimize verifies\n"
+                "%s%.4fs explore (%.0f points/s)\n",
+                indent,
+                static_cast<unsigned long long>(stats.points),
+                static_cast<unsigned long long>(
+                    stats.epochCoalescedPoints),
+                static_cast<unsigned long long>(stats.pendingLines),
+                indent,
+                static_cast<unsigned long long>(stats.imagesEnumerated),
+                static_cast<unsigned long long>(stats.imagesDeduped),
+                static_cast<unsigned long long>(stats.imagesVerified),
+                static_cast<unsigned long long>(stats.minimizeVerifies),
+                indent, seconds,
+                seconds > 0 ? static_cast<double>(stats.points) / seconds
+                            : 0.0);
+}
+
+int
+runCase(const pmdb::BugCase &bug_case,
+        const pmdb::CrashsimOptions &options)
+{
+    using namespace pmdb;
+    const CrashsimCaseOutcome outcome =
+        runCrashsimCase(bug_case, options);
+
+    std::printf("%s:\n  single-image checker: %s\n"
+                "  engine (buggy): %zu finding(s)\n"
+                "  engine (correct): %zu finding(s)\n",
+                bug_case.name.c_str(),
+                outcome.singleImageFound ? "found" : "missed",
+                outcome.buggy.findings.size(),
+                outcome.clean.findings.size());
+    printFindings(outcome.buggy, "    ");
+    printStats(outcome.buggy.stats, outcome.buggy.exploreSeconds,
+               "  ");
+
+    // cs_log_truncation_window runs a correct program for both
+    // variants; under the default epoch-atomic exploration, quiet on
+    // both is the expected outcome.
+    const bool expect_buggy_finding =
+        bug_case.name != "cs_log_truncation_window" ||
+        !options.epochAtomic;
+    int failures = 0;
+    if (expect_buggy_finding && !outcome.engineFound) {
+        std::printf("  FAIL: engine missed the seeded bug\n");
+        ++failures;
+    }
+    if (!outcome.clean.findings.empty()) {
+        std::printf("  FAIL: false positive on the correct variant\n");
+        ++failures;
+    }
+    return failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmdb;
+
+    if (argc < 3)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    const std::string target = argv[2];
+
+    CrashsimOptions options;
+    WorkloadOptions wl_options;
+    wl_options.operations = 20;
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(exitUsage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workers")
+            options.workers = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--max-pending")
+            options.maxPendingLines =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--max-images")
+            options.maxImagesPerPoint =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--seed")
+            options.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--flush-points")
+            options.captureAtFlush = true;
+        else if (arg == "--no-epoch-atomic")
+            options.epochAtomic = false;
+        else if (arg == "--ops")
+            wl_options.operations =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--fault")
+            wl_options.faults.enable(next());
+        else if (arg == "--json")
+            json = true;
+        else
+            return usage(argv[0]);
+    }
+
+    if (command == "case") {
+        int failures = 0;
+        bool matched = false;
+        for (const BugCase *bug_case : engineCases()) {
+            if (target != "all" && bug_case->name != target)
+                continue;
+            matched = true;
+            failures += runCase(*bug_case, options);
+        }
+        if (!matched) {
+            std::fprintf(stderr, "unknown case '%s'; known:",
+                         target.c_str());
+            for (const BugCase *bug_case : engineCases())
+                std::fprintf(stderr, " %s", bug_case->name.c_str());
+            std::fprintf(stderr, "\n");
+            return exitUnknownName;
+        }
+        return failures == 0 ? 0 : 1;
+    }
+
+    if (command == "run") {
+        if (!makeWorkload(target)) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         target.c_str());
+            return exitUnknownName;
+        }
+        const CrashsimResult result =
+            runCrashsimWorkload(target, wl_options, options);
+        if (json) {
+            std::printf(
+                "{\"workload\": \"%s\", \"ops\": %zu, "
+                "\"crash_points\": %llu, "
+                "\"epoch_coalesced_points\": %llu, "
+                "\"pending_lines\": %llu, "
+                "\"images_enumerated\": %llu, "
+                "\"images_deduped\": %llu, "
+                "\"images_verified\": %llu, "
+                "\"findings\": %zu, "
+                "\"explore_seconds\": %.6f}\n",
+                target.c_str(), wl_options.operations,
+                static_cast<unsigned long long>(result.stats.points),
+                static_cast<unsigned long long>(
+                    result.stats.epochCoalescedPoints),
+                static_cast<unsigned long long>(
+                    result.stats.pendingLines),
+                static_cast<unsigned long long>(
+                    result.stats.imagesEnumerated),
+                static_cast<unsigned long long>(
+                    result.stats.imagesDeduped),
+                static_cast<unsigned long long>(
+                    result.stats.imagesVerified),
+                result.findings.size(), result.exploreSeconds);
+        } else {
+            std::printf("%s (%zu ops): %zu finding(s)\n",
+                        target.c_str(), wl_options.operations,
+                        result.findings.size());
+            printFindings(result, "  ");
+            printStats(result.stats, result.exploreSeconds, "  ");
+        }
+        return 0;
+    }
+
+    return usage(argv[0]);
+}

@@ -8,6 +8,12 @@
  *   pmdb_trace info <file.trc>
  *   pmdb_trace charz <file.trc>          # Section 3 characterization
  *   pmdb_trace replay <file.trc> <checker> [--json]
+ *   pmdb_trace crashsim <file.trc> [--flush-points] [--max-pending K]
+ *                       [--max-images N] [--no-epoch-atomic]
+ *
+ * Exit codes: 0 success, 2 usage error, 3 unknown workload/checker
+ * name, 4 unreadable or corrupt trace file (the failing file name is
+ * printed to stderr).
  */
 
 #include <cstdio>
@@ -17,6 +23,7 @@
 
 #include "charz/characterize.hh"
 #include "core/report.hh"
+#include "crashsim/crash_points.hh"
 #include "detectors/registry.hh"
 #include "trace/recorder.hh"
 #include "trace/trace_file.hh"
@@ -24,6 +31,12 @@
 
 namespace
 {
+
+// Exit codes: distinct failures get distinct codes so scripts (and the
+// CI smoke steps) can tell a typo'd name from a damaged trace file.
+constexpr int exitUsage = 2;
+constexpr int exitUnknownName = 3;
+constexpr int exitBadTrace = 4;
 
 int
 usage(const char *argv0)
@@ -33,9 +46,24 @@ usage(const char *argv0)
         "usage: %s record <workload> <ops> <out.trc> [--fault NAME]\n"
         "       %s info <file.trc>\n"
         "       %s charz <file.trc>\n"
-        "       %s replay <file.trc> <checker> [--json]\n",
-        argv0, argv0, argv0, argv0);
-    return 2;
+        "       %s replay <file.trc> <checker> [--json]\n"
+        "       %s crashsim <file.trc> [--flush-points] "
+        "[--max-pending K]\n"
+        "                [--max-images N] [--no-epoch-atomic]\n",
+        argv0, argv0, argv0, argv0, argv0);
+    return exitUsage;
+}
+
+/** Load a trace or fail with exitBadTrace, naming the file. */
+bool
+loadTrace(const char *path, pmdb::LoadedTrace *trace)
+{
+    std::string error;
+    if (!pmdb::readTraceFile(path, trace, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+        return false;
+    }
+    return true;
 }
 
 int
@@ -47,7 +75,7 @@ cmdRecord(int argc, char **argv)
     auto workload = makeWorkload(argv[2]);
     if (!workload) {
         std::fprintf(stderr, "unknown workload '%s'\n", argv[2]);
-        return 2;
+        return exitUnknownName;
     }
     WorkloadOptions options;
     options.operations = std::strtoull(argv[3], nullptr, 10);
@@ -64,8 +92,8 @@ cmdRecord(int argc, char **argv)
     std::string error;
     if (!writeTraceFile(argv[4], recorder.events(), runtime.names(),
                         &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
-        return 1;
+        std::fprintf(stderr, "%s: %s\n", argv[4], error.c_str());
+        return exitBadTrace;
     }
     std::printf("recorded %zu events from %s -> %s\n",
                 recorder.events().size(), argv[2], argv[4]);
@@ -79,11 +107,8 @@ cmdInfo(int argc, char **argv)
     if (argc < 3)
         return usage(argv[0]);
     LoadedTrace trace;
-    std::string error;
-    if (!readTraceFile(argv[2], &trace, &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
-        return 1;
-    }
+    if (!loadTrace(argv[2], &trace))
+        return exitBadTrace;
     std::uint64_t counts[16] = {};
     for (const Event &event : trace.events)
         ++counts[static_cast<int>(event.kind)];
@@ -106,11 +131,8 @@ cmdCharz(int argc, char **argv)
     if (argc < 3)
         return usage(argv[0]);
     LoadedTrace trace;
-    std::string error;
-    if (!readTraceFile(argv[2], &trace, &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
-        return 1;
-    }
+    if (!loadTrace(argv[2], &trace))
+        return exitBadTrace;
     const CharacterizationResult result = characterize(trace.events);
     std::printf("%s\n", result.toString().c_str());
     return 0;
@@ -123,15 +145,12 @@ cmdReplay(int argc, char **argv)
     if (argc < 4)
         return usage(argv[0]);
     LoadedTrace trace;
-    std::string error;
-    if (!readTraceFile(argv[2], &trace, &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
-        return 1;
-    }
+    if (!loadTrace(argv[2], &trace))
+        return exitBadTrace;
     auto detector = makeDetector(argv[3], {});
     if (!detector) {
         std::fprintf(stderr, "unknown checker '%s'\n", argv[3]);
-        return 2;
+        return exitUnknownName;
     }
     detector->attached(trace.names);
     TraceReplayer replayer(trace.events);
@@ -143,6 +162,44 @@ cmdReplay(int argc, char **argv)
         std::printf("%s\n", reportToJson(detector->bugs()).c_str());
     else
         std::printf("%s", detector->bugs().summary().c_str());
+    return 0;
+}
+
+int
+cmdCrashsim(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 3)
+        return usage(argv[0]);
+    LoadedTrace trace;
+    if (!loadTrace(argv[2], &trace))
+        return exitBadTrace;
+
+    CrashsimOptions options;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--flush-points") {
+            options.captureAtFlush = true;
+        } else if (arg == "--no-epoch-atomic") {
+            options.epochAtomic = false;
+        } else if (arg == "--max-pending" && i + 1 < argc) {
+            options.maxPendingLines =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--max-images" && i + 1 < argc) {
+            options.maxImagesPerPoint =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    const CrashScanSummary summary =
+        scanCrashPoints(trace.events, options);
+    std::printf("%s: %s\n", argv[2], summary.toString().c_str());
+    std::printf("(structural scan: traces carry no store payloads; "
+                "full exploration with recovery\n verifiers needs a "
+                "live capture — see pmdb_crashsim)\n");
     return 0;
 }
 
@@ -162,5 +219,7 @@ main(int argc, char **argv)
         return cmdCharz(argc, argv);
     if (command == "replay")
         return cmdReplay(argc, argv);
+    if (command == "crashsim")
+        return cmdCrashsim(argc, argv);
     return usage(argv[0]);
 }
