@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <cctype>
 #include <cstdio>
 
 #include "types.hh"
@@ -7,10 +8,44 @@
 namespace pmdb
 {
 
+bool
+parseLogLevel(const std::string &name, LogLevel *out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "debug")
+        *out = LogLevel::Debug;
+    else if (lower == "info")
+        *out = LogLevel::Info;
+    else if (lower == "warn" || lower == "warning")
+        *out = LogLevel::Warn;
+    else if (lower == "error")
+        *out = LogLevel::Error;
+    else if (lower == "none" || lower == "off")
+        *out = LogLevel::None;
+    else
+        return false;
+    return true;
+}
+
 LogLevel &
 Logger::threshold()
 {
-    static LogLevel level = LogLevel::Warn;
+    static LogLevel level = [] {
+        LogLevel parsed = LogLevel::Warn;
+        if (const char *env = std::getenv("PMDB_LOG")) {
+            if (!parseLogLevel(env, &parsed)) {
+                std::fprintf(stderr,
+                             "warn: PMDB_LOG: unknown level '%s' "
+                             "(debug|info|warn|error|none)\n",
+                             env);
+            }
+        }
+        return parsed;
+    }();
     return level;
 }
 
@@ -25,6 +60,7 @@ Logger::log(LogLevel level, const std::string &msg)
       case LogLevel::Info:  tag = "info";  break;
       case LogLevel::Warn:  tag = "warn";  break;
       case LogLevel::Error: tag = "error"; break;
+      case LogLevel::None:  return;
     }
     std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }

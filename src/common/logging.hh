@@ -23,11 +23,22 @@ enum class LogLevel
     Info,
     Warn,
     Error,
+    /** Threshold-only value: suppresses every message. */
+    None,
 };
 
 /**
+ * Parse a log-level name ("debug", "info", "warn", "error", "none",
+ * case-insensitive). Returns false (leaving @p out untouched) for
+ * unknown names.
+ */
+bool parseLogLevel(const std::string &name, LogLevel *out);
+
+/**
  * Global log configuration. Quiet by default so benchmarks and tests
- * are not flooded; examples turn Info on.
+ * are not flooded; examples turn Info on. The initial threshold comes
+ * from the PMDB_LOG environment variable when set (one of the
+ * parseLogLevel names), else Warn.
  */
 class Logger
 {

@@ -7,6 +7,18 @@ bool
 CrossFailureChecker::check(PmDebugger &debugger, const PmemDevice &device,
                            const Verifier &verify, const CrashPointSpec &at)
 {
+    return check(
+        [&debugger](const BugReport &report) {
+            debugger.reportBug(report);
+        },
+        device, verify, at);
+}
+
+bool
+CrossFailureChecker::check(const ReportSink &sink,
+                           const PmemDevice &device,
+                           const Verifier &verify, const CrashPointSpec &at)
+{
     CrashSimulator sim(device);
     std::vector<std::uint8_t> image =
         at.landedLines ? sim.partialImage(*at.landedLines)
@@ -19,7 +31,7 @@ CrossFailureChecker::check(PmDebugger &debugger, const PmemDevice &device,
     report.type = BugType::CrossFailureSemantic;
     report.seq = at.seq;
     report.detail = inconsistency;
-    debugger.reportBug(report);
+    sink(report);
     return true;
 }
 

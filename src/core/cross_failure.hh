@@ -62,6 +62,9 @@ class CrossFailureChecker
     using Verifier =
         std::function<std::string(const std::vector<std::uint8_t> &image)>;
 
+    /** Receives the CrossFailureSemantic report when one is found. */
+    using ReportSink = std::function<void(const BugReport &)>;
+
     /**
      * Materialize @p device's crash image at crash point @p at and run
      * @p verify over it. On inconsistency, report a
@@ -69,6 +72,15 @@ class CrossFailureChecker
      * crash point's seq. Returns true if a bug was found.
      */
     static bool check(PmDebugger &debugger, const PmemDevice &device,
+                      const Verifier &verify,
+                      const CrashPointSpec &at = {});
+
+    /**
+     * Same check, but the report goes to an arbitrary @p sink — how
+     * detection-service clients funnel cross-failure findings to the
+     * daemon when no PmDebugger runs in-process.
+     */
+    static bool check(const ReportSink &sink, const PmemDevice &device,
                       const Verifier &verify,
                       const CrashPointSpec &at = {});
 };

@@ -1,0 +1,308 @@
+#include "service/daemon.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "service/spsc_ring.hh"
+#include "service/transport.hh"
+#include "trace/trace_file.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+/** Ring events popped per routing batch. */
+constexpr std::size_t popBatch = 512;
+
+/** Idle backoff: keeps a 1-CPU box responsive without busy-spinning. */
+void
+idlePause()
+{
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+} // namespace
+
+ServiceDaemon::ServiceDaemon(ServiceConfig config)
+    : config_(std::move(config)), pool_(config_.pool)
+{
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    stop();
+}
+
+bool
+ServiceDaemon::start(std::string *error)
+{
+    if (running_)
+        return true;
+    listenFd_ = listenUnix(config_.socketPath, error);
+    if (listenFd_ < 0)
+        return false;
+    stopping_.store(false);
+    pool_.start();
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    running_ = true;
+    return true;
+}
+
+void
+ServiceDaemon::stop()
+{
+    if (!running_)
+        return;
+    stopping_.store(true);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(sessionThreadsMutex_);
+        for (std::thread &thread : sessionThreads_) {
+            if (thread.joinable())
+                thread.join();
+        }
+        sessionThreads_.clear();
+    }
+    pool_.stop();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        std::remove(config_.socketPath.c_str());
+    }
+    running_ = false;
+}
+
+bool
+ServiceDaemon::waitForSessions(std::size_t count, int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(summariesMutex_);
+    const auto ready = [&] { return summaries_.size() >= count; };
+    if (timeout_ms < 0) {
+        sessionDone_.wait(lock, ready);
+        return true;
+    }
+    return sessionDone_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), ready);
+}
+
+std::size_t
+ServiceDaemon::completedSessions() const
+{
+    std::lock_guard<std::mutex> lock(summariesMutex_);
+    return summaries_.size();
+}
+
+std::vector<SessionSummary>
+ServiceDaemon::summaries() const
+{
+    std::lock_guard<std::mutex> lock(summariesMutex_);
+    return summaries_;
+}
+
+std::string
+ServiceDaemon::aggregatedJson() const
+{
+    const std::vector<SessionSummary> sessions = summaries();
+    std::ostringstream out;
+    out << "{\"shards\": " << pool_.shardCount()
+        << ", \"stripe_bytes\": " << pool_.stripeBytes()
+        << ", \"straddles\": " << pool_.straddleCount()
+        << ", \"sessions\": [";
+    bool first = true;
+    for (const SessionSummary &session : sessions) {
+        if (!first)
+            out << ", ";
+        first = false;
+        BugCollector bugs;
+        for (const BugReport &bug : session.verdict.bugs)
+            bugs.report(bug);
+        out << "{\"id\": " << session.id
+            << ", \"events\": " << session.eventsProcessed
+            << ", \"dropped\": " << session.eventsDropped
+            << ", \"spill_replayed\": " << session.spillReplayed
+            << ", \"aborted\": "
+            << (session.aborted ? "true" : "false") << ", \"report\": "
+            << reportToJson(bugs, session.verdict.stats) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+void
+ServiceDaemon::acceptLoop()
+{
+    while (!stopping_.load()) {
+        if (!readable(listenFd_, 200))
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(sessionThreadsMutex_);
+        sessionThreads_.emplace_back(
+            [this, fd] { serveSession(fd); });
+    }
+}
+
+void
+ServiceDaemon::serveSession(int fd)
+{
+    SessionSummary summary;
+    MsgType type;
+    std::vector<std::uint8_t> payload;
+    HelloBody hello;
+    if (!recvMessage(fd, &type, &payload) || type != MsgType::Hello ||
+        !HelloBody::deserialize(payload, &hello)) {
+        ::close(fd);
+        return;
+    }
+
+    EventRing ring;
+    std::string error;
+    if (!ring.open(hello.ringPath, &error)) {
+        WireWriter out;
+        out.putString(error);
+        sendMessage(fd, MsgType::Error, out.bytes());
+        ::close(fd);
+        return;
+    }
+
+    const SessionId session = nextSession_.fetch_add(1);
+    summary.id = session;
+
+    DebuggerConfig config;
+    config.model = hello.model;
+    config.arrayCapacity = config_.pool.arrayCapacity;
+    config.mergeThreshold = config_.pool.mergeThreshold;
+    if (!hello.orderSpecText.empty())
+        config.orderSpec = OrderSpec::fromText(hello.orderSpecText);
+    // Global-order rules cannot be checked against a partitioned
+    // stream; pin such sessions to one shard (a degenerate barrier).
+    const bool pinned = hello.model == PersistencyModel::Strand ||
+                        !hello.orderSpecText.empty();
+    pool_.openSession(session, config, pinned);
+
+    {
+        WireWriter out;
+        out.put(static_cast<std::uint32_t>(session));
+        sendMessage(fd, MsgType::Welcome, out.bytes());
+    }
+
+    std::vector<BugReport> external;
+    std::vector<Event> buffer(popBatch);
+    bool sawBye = false;
+    bool clientAlive = true;
+    ByeBody bye;
+
+    while (clientAlive && !sawBye) {
+        bool progressed = false;
+        if (readable(fd, 0)) {
+            if (!recvMessage(fd, &type, &payload)) {
+                clientAlive = false;
+                break;
+            }
+            progressed = true;
+            switch (type) {
+              case MsgType::InternName: {
+                WireReader in(payload);
+                const auto id = in.get<std::uint32_t>();
+                pool_.internName(session, id, in.getString());
+                WireWriter ack;
+                ack.put(id);
+                sendMessage(fd, MsgType::NameAck, ack.bytes());
+                break;
+              }
+              case MsgType::ReportBug: {
+                WireReader in(payload);
+                external.push_back(getBugReport(in));
+                break;
+              }
+              case MsgType::Bye:
+                ByeBody::deserialize(payload, &bye);
+                sawBye = true;
+                break;
+              default:
+                break;
+            }
+        }
+        const std::size_t popped =
+            ring.tryPop(buffer.data(), buffer.size());
+        if (popped) {
+            pool_.routeEvents(session, buffer.data(), popped);
+            summary.eventsProcessed += popped;
+            progressed = true;
+        }
+        if (!progressed) {
+            if (stopping_.load()) {
+                clientAlive = false;
+                break;
+            }
+            idlePause();
+        }
+    }
+
+    if (sawBye) {
+        // Drain whatever the producer pushed before its Bye.
+        for (;;) {
+            const std::size_t popped =
+                ring.tryPop(buffer.data(), buffer.size());
+            if (!popped)
+                break;
+            pool_.routeEvents(session, buffer.data(), popped);
+            summary.eventsProcessed += popped;
+        }
+        // Under the Spill policy the tail of the stream sits in the
+        // spill trace file, in order; replay it after the ring.
+        if (bye.spillEvents && !hello.spillPath.empty()) {
+            LoadedTrace spill;
+            bool truncated = false;
+            if (readTraceStream(hello.spillPath, &spill, &truncated,
+                                &error)) {
+                if (truncated) {
+                    warn("service: spill trace " + hello.spillPath +
+                         " has a truncated tail");
+                }
+                pool_.routeEvents(session, spill.events.data(),
+                                  spill.events.size());
+                summary.spillReplayed = spill.events.size();
+                summary.eventsProcessed += spill.events.size();
+            } else {
+                warn("service: cannot replay spill trace: " + error);
+            }
+        }
+    }
+
+    summary.eventsDropped = ring.droppedCount();
+    summary.verdict = pool_.closeSession(session, external);
+    summary.aborted = !sawBye;
+
+    if (sawBye) {
+        BugCollector bugs;
+        for (const BugReport &bug : summary.verdict.bugs)
+            bugs.report(bug);
+        ReportBody report;
+        report.bugs = summary.verdict.bugs;
+        report.eventsProcessed = summary.eventsProcessed;
+        report.eventsDropped = summary.eventsDropped;
+        report.json = reportToJson(bugs, summary.verdict.stats);
+        sendMessage(fd, MsgType::Report, report.serialize());
+    }
+    ::close(fd);
+
+    {
+        std::lock_guard<std::mutex> lock(summariesMutex_);
+        summaries_.push_back(std::move(summary));
+    }
+    sessionDone_.notify_all();
+}
+
+} // namespace pmdb

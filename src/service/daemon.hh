@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The detection-service daemon (pmdbd): accepts trace streams from
+ * multiple concurrent clients over per-client shared-memory event
+ * rings plus a Unix-domain-socket control plane, feeds them through
+ * an address-sharded pool of detector workers, and replies to each
+ * client with its merged bug report. Embeddable: tests and the bench
+ * run a ServiceDaemon on a thread inside the same process; the pmdbd
+ * tool wraps one in a main().
+ */
+
+#ifndef PMDB_SERVICE_DAEMON_HH
+#define PMDB_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/shard.hh"
+
+namespace pmdb
+{
+
+/** Daemon configuration. */
+struct ServiceConfig
+{
+    /** Control-plane socket path. */
+    std::string socketPath;
+    /** Detector shard-pool shape. */
+    ShardPoolConfig pool;
+};
+
+/** Per-session attribution kept by the aggregated collector. */
+struct SessionSummary
+{
+    SessionId id = 0;
+    /** Merged per-session verdict (bugs + stats). */
+    SessionVerdict verdict;
+    std::uint64_t eventsProcessed = 0;
+    std::uint64_t eventsDropped = 0;
+    std::uint64_t spillReplayed = 0;
+    /** Client vanished before Bye; no report was sent. */
+    bool aborted = false;
+};
+
+/** The out-of-process detection daemon. */
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(ServiceConfig config);
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /** Bind the socket, start the shard pool and the accept loop. */
+    bool start(std::string *error = nullptr);
+
+    /** Stop accepting, join session handlers and workers. */
+    void stop();
+
+    /**
+     * Block until @p count sessions have completed (served or
+     * aborted). Returns false if @p timeout_ms (>= 0) elapses first.
+     */
+    bool waitForSessions(std::size_t count, int timeout_ms = -1);
+
+    /** Completed sessions so far. */
+    std::size_t completedSessions() const;
+
+    /** Snapshot of per-session summaries (completed sessions only). */
+    std::vector<SessionSummary> summaries() const;
+
+    /**
+     * Aggregated JSON across all completed sessions: per-session bug
+     * reports with attribution, plus daemon-level counters.
+     */
+    std::string aggregatedJson() const;
+
+    const std::string &socketPath() const { return config_.socketPath; }
+
+  private:
+    void acceptLoop();
+    void serveSession(int fd);
+
+    ServiceConfig config_;
+    ShardPool pool_;
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::vector<std::thread> sessionThreads_;
+    std::mutex sessionThreadsMutex_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<SessionId> nextSession_{1};
+
+    mutable std::mutex summariesMutex_;
+    std::condition_variable sessionDone_;
+    std::vector<SessionSummary> summaries_;
+    bool running_ = false;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_SERVICE_DAEMON_HH

@@ -1,0 +1,208 @@
+#include "service/remote_sink.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "service/transport.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+RemoteSink::~RemoteSink()
+{
+    disconnect();
+}
+
+bool
+RemoteSink::connect(const Options &options, std::string *error)
+{
+    disconnect();
+    options_ = options;
+    if (options_.policy == SlowConsumerPolicy::Spill &&
+        options_.spillPath.empty()) {
+        return fail(error, "spill policy needs a spill path");
+    }
+    if (!ring_.create(options_.ringPath, options_.ringSlots, error))
+        return false;
+    if (options_.policy == SlowConsumerPolicy::Spill &&
+        !spill_.open(options_.spillPath, error)) {
+        ring_.close();
+        return false;
+    }
+
+    fd_ = connectUnix(options_.socketPath, options_.connectTimeoutMs,
+                      error);
+    if (fd_ < 0) {
+        ring_.close();
+        return false;
+    }
+
+    HelloBody hello;
+    hello.model = options_.model;
+    hello.policy = options_.policy;
+    hello.orderSpecText = options_.orderSpecText;
+    hello.ringPath = options_.ringPath;
+    hello.spillPath = options_.spillPath;
+    MsgType type;
+    std::vector<std::uint8_t> payload;
+    if (!sendMessage(fd_, MsgType::Hello, hello.serialize()) ||
+        !recvMessage(fd_, &type, &payload) ||
+        type != MsgType::Welcome) {
+        disconnect();
+        return fail(error, "service handshake failed");
+    }
+    WireReader in(payload);
+    session_ = in.get<std::uint32_t>();
+    namesSent_ = 0;
+    pushed_ = spilled_ = dropped_ = 0;
+    spilling_ = false;
+    dead_ = false;
+    return true;
+}
+
+bool
+RemoteSink::ensureNamesSent(std::uint32_t name_id)
+{
+    if (!names_ || name_id == noName)
+        return true;
+    while (namesSent_ <= name_id) {
+        WireWriter out;
+        out.put(namesSent_);
+        out.putString(names_->name(namesSent_));
+        MsgType type;
+        std::vector<std::uint8_t> payload;
+        // Wait for the ack: the daemon has handed the name to its
+        // shards, so the event referencing it may now enter the ring.
+        if (!sendMessage(fd_, MsgType::InternName, out.bytes()) ||
+            !recvMessage(fd_, &type, &payload) ||
+            type != MsgType::NameAck) {
+            return false;
+        }
+        ++namesSent_;
+    }
+    return true;
+}
+
+void
+RemoteSink::push(const Event &event)
+{
+    if (spilling_) {
+        if (spill_.append(event))
+            ++spilled_;
+        return;
+    }
+    if (ring_.tryPush(event)) {
+        ++pushed_;
+        return;
+    }
+    switch (options_.policy) {
+      case SlowConsumerPolicy::Block:
+        // Out of credits: yield until the consumer frees a slot. The
+        // sleep matters on a single-CPU box, where pure spinning would
+        // starve the very consumer being waited on.
+        while (!ring_.tryPush(event)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        ++pushed_;
+        break;
+      case SlowConsumerPolicy::Drop:
+        ring_.countDrop();
+        ++dropped_;
+        break;
+      case SlowConsumerPolicy::Spill:
+        spilling_ = true;
+        spill_.flush();
+        if (spill_.append(event))
+            ++spilled_;
+        break;
+    }
+}
+
+void
+RemoteSink::handle(const Event &event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_ || fd_ < 0)
+        return;
+    if (!ensureNamesSent(event.nameId)) {
+        dead_ = true;
+        warn("service client: control plane failed; stream cut");
+        return;
+    }
+    push(event);
+}
+
+void
+RemoteSink::reportBug(const BugReport &report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_ || fd_ < 0)
+        return;
+    WireWriter out;
+    putBugReport(out, report);
+    if (!sendMessage(fd_, MsgType::ReportBug, out.bytes()))
+        dead_ = true;
+}
+
+bool
+RemoteSink::finish(ReportBody *out, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return fail(error, "not connected");
+    if (dead_) {
+        disconnect();
+        return fail(error, "session died mid-stream");
+    }
+    if (spill_.isOpen())
+        spill_.close(); // make the tail durable before announcing it
+    ring_.markProducerDone();
+
+    ByeBody bye;
+    bye.ringEvents = pushed_;
+    bye.spillEvents = spilled_;
+    MsgType type;
+    std::vector<std::uint8_t> payload;
+    bool ok = sendMessage(fd_, MsgType::Bye, bye.serialize()) &&
+              recvMessage(fd_, &type, &payload) &&
+              type == MsgType::Report &&
+              ReportBody::deserialize(payload, out);
+    if (!ok && error)
+        *error = "service report exchange failed";
+    disconnect();
+    return ok;
+}
+
+void
+RemoteSink::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (spill_.isOpen())
+        spill_.close();
+    ring_.close();
+    // The spill file has served its purpose once the session is over.
+    if (!options_.spillPath.empty())
+        std::remove(options_.spillPath.c_str());
+}
+
+} // namespace pmdb

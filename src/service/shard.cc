@@ -1,0 +1,390 @@
+#include "service/shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/order_spec.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+/** Events routed by address; everything else is broadcast. */
+bool
+isAddressed(EventKind kind)
+{
+    return kind == EventKind::Store || kind == EventKind::Flush ||
+           kind == EventKind::TxLog;
+}
+
+void
+mergeStats(DebuggerStats *total, const DebuggerStats &part)
+{
+    // Addressed work is partitioned across shards: sum it. Boundary
+    // events are broadcast, so every shard counts each fence/epoch —
+    // take the max, which equals the true count.
+    total->stores += part.stores;
+    total->flushes += part.flushes;
+    total->fences = std::max(total->fences, part.fences);
+    total->epochs = std::max(total->epochs, part.epochs);
+    total->treeNodeSampleSum += part.treeNodeSampleSum;
+    total->treeNodeSamples += part.treeNodeSamples;
+    total->tree.insertions += part.tree.insertions;
+    total->tree.removals += part.tree.removals;
+    total->tree.reorganizations += part.tree.reorganizations;
+    total->tree.merges += part.tree.merges;
+    total->array.collectiveInvalidations +=
+        part.array.collectiveInvalidations;
+    total->array.recordsCollectivelyFreed +=
+        part.array.recordsCollectivelyFreed;
+    total->array.recordsMovedToTree += part.array.recordsMovedToTree;
+    total->array.recordsDroppedIndividually +=
+        part.array.recordsDroppedIndividually;
+    total->array.overflowStores += part.array.overflowStores;
+    total->array.maxUsage =
+        std::max(total->array.maxUsage, part.array.maxUsage);
+}
+
+} // namespace
+
+/** Rendezvous for closeSession: shards deposit results and count down. */
+struct ShardPool::CloseBarrier
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::vector<std::vector<BugReport>> bugs;
+    std::vector<DebuggerStats> stats;
+};
+
+struct ShardPool::Task
+{
+    enum class Kind
+    {
+        Open,
+        Name,
+        Events,
+        Close,
+    };
+
+    Kind kind = Kind::Events;
+    SessionId session = 0;
+    /** Open */
+    DebuggerConfig config;
+    /** Name */
+    std::uint32_t nameId = 0;
+    std::string name;
+    /** Events */
+    std::vector<Event> events;
+    /** Close */
+    CloseBarrier *barrier = nullptr;
+};
+
+struct ShardPool::Worker
+{
+    /** Per-(session, shard) detector state. Heap-allocated so the
+     *  NameTable address handed to PmDebugger::attached stays stable. */
+    struct Session
+    {
+        NameTable names;
+        std::unique_ptr<PmDebugger> debugger;
+    };
+
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<Task> queue;
+    bool stopping = false;
+    std::unordered_map<SessionId, std::unique_ptr<Session>> sessions;
+};
+
+ShardPool::ShardPool(ShardPoolConfig config)
+    : config_(config)
+{
+    if (!config_.shards)
+        config_.shards = 1;
+    if (!config_.stripeBytes)
+        config_.stripeBytes = 64ull << 20;
+    for (std::size_t i = 0; i < config_.shards; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+}
+
+ShardPool::~ShardPool()
+{
+    stop();
+}
+
+void
+ShardPool::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker &worker = *workers_[i];
+        worker.stopping = false;
+        worker.thread =
+            std::thread([this, &worker, i] { workerLoop(worker, i); });
+    }
+}
+
+void
+ShardPool::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    for (auto &worker : workers_) {
+        {
+            std::lock_guard<std::mutex> lock(worker->mutex);
+            worker->stopping = true;
+        }
+        worker->wake.notify_all();
+    }
+    for (auto &worker : workers_) {
+        if (worker->thread.joinable())
+            worker->thread.join();
+    }
+}
+
+std::size_t
+ShardPool::homeShard(SessionId session) const
+{
+    return session % config_.shards;
+}
+
+std::size_t
+ShardPool::shardOf(SessionId session, Addr addr) const
+{
+    const Addr stripe = addr / config_.stripeBytes;
+    return static_cast<std::size_t>((stripe + session) %
+                                    config_.shards);
+}
+
+void
+ShardPool::enqueue(std::size_t shard, Task task)
+{
+    Worker &worker = *workers_[shard];
+    {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        worker.queue.push_back(std::move(task));
+    }
+    worker.wake.notify_one();
+}
+
+void
+ShardPool::openSession(SessionId session, const DebuggerConfig &config,
+                       bool pinned)
+{
+    {
+        std::lock_guard<std::mutex> lock(pinnedMutex_);
+        pinned_[session] = pinned;
+    }
+    const std::size_t home = homeShard(session);
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        Task task;
+        task.kind = Task::Kind::Open;
+        task.session = session;
+        task.config = config;
+        // Context-only rules fire on broadcast boundaries alone, so
+        // every shard would report the same bug; keep them on the home
+        // shard only to preserve single-detector report identity.
+        if (shard != home)
+            task.config.detectRedundantEpochFence = false;
+        enqueue(shard, std::move(task));
+    }
+}
+
+void
+ShardPool::internName(SessionId session, std::uint32_t nameId,
+                      std::string name)
+{
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        Task task;
+        task.kind = Task::Kind::Name;
+        task.session = session;
+        task.nameId = nameId;
+        task.name = name;
+        enqueue(shard, std::move(task));
+    }
+}
+
+void
+ShardPool::routeEvents(SessionId session, const Event *events,
+                       std::size_t count)
+{
+    bool pinned = false;
+    {
+        std::lock_guard<std::mutex> lock(pinnedMutex_);
+        const auto it = pinned_.find(session);
+        pinned = it != pinned_.end() && it->second;
+    }
+
+    // Partition into per-shard subsequences. Relative order within a
+    // shard matches stream order because events are appended in order.
+    std::vector<std::vector<Event>> parts(workers_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const Event &event = events[i];
+        if (pinned) {
+            parts[homeShard(session)].push_back(event);
+        } else if (isAddressed(event.kind)) {
+            const std::size_t shard = shardOf(session, event.addr);
+            if (event.size &&
+                shardOf(session, event.addr + event.size - 1) != shard) {
+                straddles_.fetch_add(1, std::memory_order_relaxed);
+            }
+            parts[shard].push_back(event);
+        } else {
+            for (auto &part : parts)
+                part.push_back(event);
+        }
+    }
+    for (std::size_t shard = 0; shard < parts.size(); ++shard) {
+        if (parts[shard].empty())
+            continue;
+        Task task;
+        task.kind = Task::Kind::Events;
+        task.session = session;
+        task.events = std::move(parts[shard]);
+        enqueue(shard, std::move(task));
+    }
+}
+
+SessionVerdict
+ShardPool::closeSession(SessionId session,
+                        const std::vector<BugReport> &external)
+{
+    CloseBarrier barrier;
+    barrier.remaining = workers_.size();
+    barrier.bugs.resize(workers_.size());
+    barrier.stats.resize(workers_.size());
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        Task task;
+        task.kind = Task::Kind::Close;
+        task.session = session;
+        task.barrier = &barrier;
+        enqueue(shard, std::move(task));
+    }
+    {
+        std::unique_lock<std::mutex> lock(barrier.mutex);
+        barrier.done.wait(lock, [&] { return barrier.remaining == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(pinnedMutex_);
+        pinned_.erase(session);
+    }
+
+    // Merge: home shard first so that, at equal seq, its chronological
+    // ordering wins; client-reported external bugs come last at equal
+    // seq (in-process detection reports at an event before a manual
+    // cross-failure check stamped with the same sequence number).
+    std::vector<BugReport> merged;
+    const std::size_t home = homeShard(session);
+    for (const BugReport &bug : barrier.bugs[home])
+        merged.push_back(bug);
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        if (shard == home)
+            continue;
+        for (const BugReport &bug : barrier.bugs[shard])
+            merged.push_back(bug);
+    }
+    for (const BugReport &bug : external)
+        merged.push_back(bug);
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const BugReport &a, const BugReport &b) {
+                         return a.seq < b.seq;
+                     });
+
+    SessionVerdict verdict;
+    BugCollector collector;
+    for (const BugReport &bug : merged) {
+        if (collector.report(bug))
+            verdict.bugs.push_back(bug);
+    }
+    for (const DebuggerStats &part : barrier.stats)
+        mergeStats(&verdict.stats, part);
+    return verdict;
+}
+
+std::uint64_t
+ShardPool::straddleCount() const
+{
+    return straddles_.load(std::memory_order_relaxed);
+}
+
+void
+ShardPool::workerLoop(Worker &worker, std::size_t index)
+{
+    (void)index;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(worker.mutex);
+            worker.wake.wait(lock, [&] {
+                return worker.stopping || !worker.queue.empty();
+            });
+            if (worker.queue.empty()) {
+                if (worker.stopping)
+                    return;
+                continue;
+            }
+            task = std::move(worker.queue.front());
+            worker.queue.pop_front();
+        }
+
+        switch (task.kind) {
+          case Task::Kind::Open: {
+            auto session = std::make_unique<Worker::Session>();
+            session->debugger =
+                std::make_unique<PmDebugger>(task.config);
+            session->debugger->attached(session->names);
+            worker.sessions[task.session] = std::move(session);
+            break;
+          }
+          case Task::Kind::Name: {
+            const auto it = worker.sessions.find(task.session);
+            if (it == worker.sessions.end())
+                break;
+            const std::uint32_t id = it->second->names.intern(task.name);
+            if (id != task.nameId) {
+                warn("service shard: name id mismatch (got " +
+                     std::to_string(id) + ", expected " +
+                     std::to_string(task.nameId) + ")");
+            }
+            break;
+          }
+          case Task::Kind::Events: {
+            const auto it = worker.sessions.find(task.session);
+            if (it == worker.sessions.end())
+                break;
+            it->second->debugger->handleBatch(task.events.data(),
+                                              task.events.size());
+            break;
+          }
+          case Task::Kind::Close: {
+            const auto it = worker.sessions.find(task.session);
+            std::vector<BugReport> bugs;
+            DebuggerStats stats;
+            if (it != worker.sessions.end()) {
+                it->second->debugger->finalize();
+                bugs = it->second->debugger->bugs().bugs();
+                stats = it->second->debugger->stats();
+                worker.sessions.erase(it);
+            }
+            CloseBarrier *barrier = task.barrier;
+            {
+                std::lock_guard<std::mutex> lock(barrier->mutex);
+                barrier->bugs[index] = std::move(bugs);
+                barrier->stats[index] = stats;
+                --barrier->remaining;
+            }
+            barrier->done.notify_all();
+            break;
+          }
+        }
+    }
+}
+
+} // namespace pmdb

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Address-range-sharded detector workers.
+ *
+ * The daemon partitions each session's event stream across a pool of
+ * shard workers. Every (session, shard) pair owns an independent
+ * PmDebugger, so shards never contend on bookkeeping state:
+ *
+ *  - **addressed** events (Store, Flush, TxLog) route by address
+ *    stripe: shard = (addr / stripeBytes + sessionId) % shards. A
+ *    stripe is large (64 MiB default), so a PM pool maps to one shard
+ *    and a store and the CLF that persists it always land together;
+ *  - **boundary** events (Fence, Epoch*, Strand*, JoinStrand,
+ *    RegisterPmem, ProgramEnd) are broadcast: each shard observes
+ *    every fence in order relative to its own addressed events, which
+ *    is exactly what the fence-interval bookkeeping needs. Fences are
+ *    shard-local — no cross-shard synchronization on the hot path;
+ *  - sessions that need global order (a non-empty order spec, or the
+ *    strand model's cross-strand rules) are **pinned**: their whole
+ *    stream goes to one shard, the degenerate global-order barrier.
+ *
+ * Report identity: the session's *home* shard (the one stripe 0 maps
+ * to) sees the full event subsequence of any single-stripe stream, so
+ * its debugger behaves bit-identically to an in-process one. Rules
+ * that fire from boundary context alone (redundant epoch fence) are
+ * enabled only on the home shard so broadcasting cannot duplicate
+ * them. closeSession() merges per-shard bug lists by a stable
+ * sequence-number sort with the home shard first, then re-collects
+ * through a fresh BugCollector — preserving both chronological order
+ * and first-detection dedup semantics.
+ *
+ * Why sharding pays even on one core: each shard's fence-interval
+ * working set stays within its own fixed-capacity memory-location
+ * array. A single bookkeeping space overflows the array on large
+ * working sets and falls back to expensive AVL-tree insertion
+ * (Section 4.2); partitioned spaces stay on the O(1) array path.
+ */
+
+#ifndef PMDB_SERVICE_SHARD_HH
+#define PMDB_SERVICE_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bug.hh"
+#include "core/config.hh"
+#include "core/debugger.hh"
+#include "core/stats.hh"
+#include "service/protocol.hh"
+#include "trace/event.hh"
+
+namespace pmdb
+{
+
+/** Shard-pool shape. */
+struct ShardPoolConfig
+{
+    /** Number of detector workers. */
+    std::size_t shards = 1;
+    /** Address-stripe granularity for routing addressed events. */
+    Addr stripeBytes = 64ull << 20;
+    /** Per-shard debugger array capacity (Section 4.1). */
+    std::size_t arrayCapacity = 100000;
+    /** Per-shard AVL lazy-merge threshold. */
+    std::size_t mergeThreshold = 500;
+};
+
+/** Merged per-session result returned by closeSession. */
+struct SessionVerdict
+{
+    /** Deduplicated bugs in chronological (seq) order. */
+    std::vector<BugReport> bugs;
+    /** Aggregated bookkeeping statistics across shards. */
+    DebuggerStats stats;
+};
+
+/** Pool of shard workers with FIFO per-shard task queues. */
+class ShardPool
+{
+  public:
+    explicit ShardPool(ShardPoolConfig config = {});
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /** Spawn the worker threads. */
+    void start();
+
+    /** Drain queues and join the workers. */
+    void stop();
+
+    std::size_t shardCount() const { return config_.shards; }
+    Addr stripeBytes() const { return config_.stripeBytes; }
+
+    /**
+     * Open a session on every shard. @p pinned forces the whole
+     * stream to the session's home shard.
+     */
+    void openSession(SessionId session, const DebuggerConfig &config,
+                     bool pinned);
+
+    /**
+     * Deliver one interned name to every shard of @p session. Ids must
+     * arrive in intern order; the call returns after *enqueueing*, and
+     * FIFO queues guarantee shards intern the name before any
+     * subsequently routed event that references it.
+     */
+    void internName(SessionId session, std::uint32_t nameId,
+                    std::string name);
+
+    /**
+     * Partition @p events into per-shard subsequences (preserving
+     * relative order) and enqueue them.
+     */
+    void routeEvents(SessionId session, const Event *events,
+                     std::size_t count);
+
+    /**
+     * Finalize the session's debugger on every shard, merge the
+     * per-shard bug lists and stats, and release the session. External
+     * bugs (client-reported cross-failure findings) in @p external are
+     * merged in seq order after same-seq detector bugs. Blocks until
+     * all shards have finalized.
+     */
+    SessionVerdict closeSession(SessionId session,
+                                const std::vector<BugReport> &external);
+
+    /** Addressed events whose range straddled a stripe boundary. */
+    std::uint64_t straddleCount() const;
+
+  private:
+    struct CloseBarrier;
+    struct Task;
+    struct Worker;
+
+    std::size_t homeShard(SessionId session) const;
+    std::size_t shardOf(SessionId session, Addr addr) const;
+    void enqueue(std::size_t shard, Task task);
+    void workerLoop(Worker &worker, std::size_t index);
+
+    ShardPoolConfig config_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    /** pinned flag per open session, read by the routing thread. */
+    std::unordered_map<SessionId, bool> pinned_;
+    mutable std::mutex pinnedMutex_;
+    std::atomic<std::uint64_t> straddles_{0};
+    bool running_ = false;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_SERVICE_SHARD_HH

@@ -1,0 +1,204 @@
+#include "service/spsc_ring.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pmdb
+{
+
+namespace
+{
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "ring slots are raw shared memory");
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+std::size_t
+ringBytes(std::uint32_t slots)
+{
+    return sizeof(RingHeader) +
+           static_cast<std::size_t>(slots) * sizeof(Event);
+}
+
+} // namespace
+
+EventRing::~EventRing()
+{
+    close();
+}
+
+bool
+EventRing::create(const std::string &path, std::uint32_t slots,
+                  std::string *error)
+{
+    close();
+    if (!slots)
+        return fail(error, "ring needs at least one slot");
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd < 0)
+        return fail(error, "cannot create ring file " + path);
+    const std::size_t bytes = ringBytes(slots);
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        ::close(fd);
+        return fail(error, "cannot size ring file " + path);
+    }
+    void *map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (map == MAP_FAILED)
+        return fail(error, "cannot map ring file " + path);
+
+    header_ = new (map) RingHeader;
+    std::memcpy(header_->magic, ringMagic, sizeof(ringMagic));
+    header_->slots = slots;
+    header_->head.store(0, std::memory_order_relaxed);
+    header_->tail.store(0, std::memory_order_relaxed);
+    header_->dropped.store(0, std::memory_order_relaxed);
+    header_->producerDone.store(0, std::memory_order_release);
+    slotsBase_ = reinterpret_cast<Event *>(
+        reinterpret_cast<std::uint8_t *>(map) + sizeof(RingHeader));
+    mapBytes_ = bytes;
+    slots_ = slots;
+    path_ = path;
+    owner_ = true;
+    return true;
+}
+
+bool
+EventRing::open(const std::string &path, std::string *error)
+{
+    close();
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0)
+        return fail(error, "cannot open ring file " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < sizeof(RingHeader)) {
+        ::close(fd);
+        return fail(error, "ring file too small: " + path);
+    }
+    const auto bytes = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return fail(error, "cannot map ring file " + path);
+
+    auto *header = reinterpret_cast<RingHeader *>(map);
+    if (std::memcmp(header->magic, ringMagic, sizeof(ringMagic)) != 0 ||
+        !header->slots || ringBytes(header->slots) > bytes) {
+        ::munmap(map, bytes);
+        return fail(error, "not a ring file: " + path);
+    }
+    header_ = header;
+    slotsBase_ = reinterpret_cast<Event *>(
+        reinterpret_cast<std::uint8_t *>(map) + sizeof(RingHeader));
+    mapBytes_ = bytes;
+    slots_ = header->slots;
+    path_ = path;
+    owner_ = false;
+    return true;
+}
+
+void
+EventRing::close()
+{
+    if (!header_)
+        return;
+    ::munmap(header_, mapBytes_);
+    if (owner_)
+        std::remove(path_.c_str());
+    header_ = nullptr;
+    slotsBase_ = nullptr;
+    mapBytes_ = 0;
+    slots_ = 0;
+    owner_ = false;
+}
+
+Event &
+EventRing::slot(std::uint64_t seq)
+{
+    return slotsBase_[seq % slots_];
+}
+
+bool
+EventRing::tryPush(const Event &event)
+{
+    const std::uint64_t head =
+        header_->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail =
+        header_->tail.load(std::memory_order_acquire);
+    if (head - tail >= slots_)
+        return false; // out of credits
+    slot(head) = event;
+    header_->head.store(head + 1, std::memory_order_release);
+    return true;
+}
+
+std::size_t
+EventRing::tryPop(Event *out, std::size_t max)
+{
+    const std::uint64_t tail =
+        header_->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head =
+        header_->head.load(std::memory_order_acquire);
+    std::size_t count = static_cast<std::size_t>(head - tail);
+    if (count > max)
+        count = max;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = slot(tail + i);
+    if (count)
+        header_->tail.store(tail + count, std::memory_order_release);
+    return count;
+}
+
+std::size_t
+EventRing::size() const
+{
+    const std::uint64_t tail =
+        header_->tail.load(std::memory_order_acquire);
+    const std::uint64_t head =
+        header_->head.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+}
+
+void
+EventRing::markProducerDone()
+{
+    header_->producerDone.store(1, std::memory_order_release);
+}
+
+bool
+EventRing::producerDone() const
+{
+    return header_->producerDone.load(std::memory_order_acquire) != 0;
+}
+
+void
+EventRing::countDrop()
+{
+    header_->dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+EventRing::droppedCount() const
+{
+    return header_->dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace pmdb

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared-memory single-producer/single-consumer event ring — the data
+ * plane of the detection service.
+ *
+ * The ring lives in a client-created file mapped MAP_SHARED by both
+ * processes: a RingHeader with monotonic head/tail counters followed
+ * by `slots` Event records (Event is trivially copyable, so it is safe
+ * to place in shared memory). The producer owns head, the consumer
+ * owns tail; indices are counters modulo the slot count, so the full
+ * capacity is usable and empty/full are unambiguous.
+ *
+ * Backpressure is credit-based: the `slots` free entries are the
+ * producer's credits. tryPush fails when credits run out and the
+ * producer applies its SlowConsumerPolicy (block, drop + count, or
+ * spill to a stream trace file) — the ring itself never blocks.
+ *
+ * Memory ordering: the producer's release store of head publishes the
+ * slot contents; the consumer's acquire load of head observes them
+ * (and symmetrically for tail, which publishes slot reuse). Only
+ * lock-free std::atomic<u64> counters cross the process boundary.
+ */
+
+#ifndef PMDB_SERVICE_SPSC_RING_HH
+#define PMDB_SERVICE_SPSC_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "trace/event.hh"
+
+namespace pmdb
+{
+
+/** Magic identifying a mapped ring file. */
+constexpr char ringMagic[8] = {'P', 'M', 'D', 'B', 'R', 'N', 'G', '1'};
+
+/** Shared ring control block, at offset 0 of the mapping. */
+struct RingHeader
+{
+    char magic[8];
+    std::uint32_t slots = 0;
+    std::uint32_t reserved = 0;
+    /** Next sequence the producer will write (monotonic). */
+    std::atomic<std::uint64_t> head;
+    /** Next sequence the consumer will read (monotonic). */
+    std::atomic<std::uint64_t> tail;
+    /** Events discarded under SlowConsumerPolicy::Drop. */
+    std::atomic<std::uint64_t> dropped;
+    /** Producer finished: once set, an empty ring is a finished ring. */
+    std::atomic<std::uint32_t> producerDone;
+    std::uint32_t pad = 0;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory ring needs lock-free 64-bit atomics");
+
+/**
+ * One endpoint's view of a ring mapping. The creator (client) builds
+ * the file and initializes the header; the opener (daemon) validates
+ * it. Exactly one producer and one consumer may use a ring at a time.
+ */
+class EventRing
+{
+  public:
+    EventRing() = default;
+    ~EventRing();
+
+    EventRing(const EventRing &) = delete;
+    EventRing &operator=(const EventRing &) = delete;
+
+    /** Create @p path, size it for @p slots events, map and init. */
+    bool create(const std::string &path, std::uint32_t slots,
+                std::string *error = nullptr);
+
+    /** Map an existing ring file created by a peer. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** Unmap (and, for the creator, unlink) the ring file. */
+    void close();
+
+    bool isOpen() const { return header_ != nullptr; }
+
+    /** Producer: append one event; false when out of credits (full). */
+    bool tryPush(const Event &event);
+
+    /** Consumer: pop up to @p max events; returns the number popped. */
+    std::size_t tryPop(Event *out, std::size_t max);
+
+    /** Events currently queued. */
+    std::size_t size() const;
+
+    std::uint32_t slots() const { return slots_; }
+
+    /** Producer: mark the stream complete. */
+    void markProducerDone();
+
+    bool producerDone() const;
+
+    /** Producer: count one event discarded under the Drop policy. */
+    void countDrop();
+
+    std::uint64_t droppedCount() const;
+
+  private:
+    Event &slot(std::uint64_t seq);
+
+    RingHeader *header_ = nullptr;
+    Event *slotsBase_ = nullptr;
+    std::size_t mapBytes_ = 0;
+    std::uint32_t slots_ = 0;
+    std::string path_;
+    bool owner_ = false;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_SERVICE_SPSC_RING_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unix-domain-socket control plane: framed-message send/receive and
+ * listen/connect helpers shared by the daemon and the client sink.
+ */
+
+#ifndef PMDB_SERVICE_TRANSPORT_HH
+#define PMDB_SERVICE_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+
+namespace pmdb
+{
+
+/**
+ * Bind and listen on a Unix-domain socket at @p path (any stale socket
+ * file is removed first). Returns the listening fd, or -1 with
+ * @p error filled.
+ */
+int listenUnix(const std::string &path, std::string *error = nullptr);
+
+/**
+ * Connect to the daemon's socket. Retries for up to @p timeout_ms so a
+ * client racing daemon startup (the CI smoke test does) still binds.
+ * Returns the connected fd, or -1 with @p error filled.
+ */
+int connectUnix(const std::string &path, int timeout_ms = 2000,
+                std::string *error = nullptr);
+
+/** Send one framed message; false on a broken peer. */
+bool sendMessage(int fd, MsgType type,
+                 const std::vector<std::uint8_t> &payload);
+
+/**
+ * Receive one framed message, blocking until a full frame arrives.
+ * False on EOF or a broken frame.
+ */
+bool recvMessage(int fd, MsgType *type,
+                 std::vector<std::uint8_t> *payload);
+
+/** True when a full recv on @p fd would not block right now. */
+bool readable(int fd, int timeout_ms = 0);
+
+} // namespace pmdb
+
+#endif // PMDB_SERVICE_TRANSPORT_HH

@@ -14,6 +14,13 @@ namespace
 constexpr char traceMagic[8] = {'P', 'M', 'D', 'B',
                                 'T', 'R', 'C', '1'};
 
+constexpr char streamMagic[8] = {'P', 'M', 'D', 'B',
+                                 'T', 'R', 'S', '1'};
+
+/** Stream record tags. */
+constexpr char nameTag = 'N';
+constexpr char eventTag = 'E';
+
 /** Fixed-width on-disk event layout. */
 struct PackedEvent
 {
@@ -59,6 +66,36 @@ bool
 readValue(std::FILE *file, T *value)
 {
     return std::fread(value, sizeof(T), 1, file) == 1;
+}
+
+PackedEvent
+pack(const Event &event)
+{
+    PackedEvent packed;
+    packed.kind = static_cast<std::uint8_t>(event.kind);
+    packed.flushKind = static_cast<std::uint8_t>(event.flushKind);
+    packed.thread = event.thread;
+    packed.strand = event.strand;
+    packed.nameId = event.nameId;
+    packed.addr = event.addr;
+    packed.size = event.size;
+    packed.seq = event.seq;
+    return packed;
+}
+
+Event
+unpack(const PackedEvent &packed)
+{
+    Event event;
+    event.kind = static_cast<EventKind>(packed.kind);
+    event.flushKind = static_cast<FlushKind>(packed.flushKind);
+    event.thread = packed.thread;
+    event.strand = packed.strand;
+    event.nameId = packed.nameId;
+    event.addr = packed.addr;
+    event.size = packed.size;
+    event.seq = packed.seq;
+    return event;
 }
 
 } // namespace
@@ -141,18 +178,141 @@ readTraceFile(const std::string &path, LoadedTrace *out,
         PackedEvent packed;
         if (!readValue(file.get(), &packed))
             return fail(error, "truncated trace: event records");
-        Event event;
-        event.kind = static_cast<EventKind>(packed.kind);
-        event.flushKind = static_cast<FlushKind>(packed.flushKind);
-        event.thread = packed.thread;
-        event.strand = packed.strand;
-        event.nameId = packed.nameId;
-        event.addr = packed.addr;
-        event.size = packed.size;
-        event.seq = packed.seq;
-        out->events.push_back(event);
+        out->events.push_back(unpack(packed));
     }
     return true;
+}
+
+TraceStreamWriter::~TraceStreamWriter()
+{
+    close();
+}
+
+bool
+TraceStreamWriter::open(const std::string &path, std::string *error)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        return fail(error, "cannot open " + path + " for writing");
+    events_ = 0;
+    names_ = 0;
+    if (std::fwrite(streamMagic, sizeof(streamMagic), 1, file_) != 1) {
+        close();
+        return fail(error, "write failed: stream magic");
+    }
+    return true;
+}
+
+bool
+TraceStreamWriter::appendName(std::uint32_t id, const std::string &name)
+{
+    if (!file_ || id != names_)
+        return false;
+    const auto len = static_cast<std::uint32_t>(name.size());
+    if (std::fputc(nameTag, file_) == EOF || !writeValue(file_, id) ||
+        !writeValue(file_, len) ||
+        (len && std::fwrite(name.data(), 1, len, file_) != len)) {
+        return false;
+    }
+    ++names_;
+    return true;
+}
+
+bool
+TraceStreamWriter::syncNames(const NameTable &names)
+{
+    while (names_ < names.size()) {
+        if (!appendName(names_, names.name(names_)))
+            return false;
+    }
+    return true;
+}
+
+bool
+TraceStreamWriter::append(const Event &event)
+{
+    if (!file_)
+        return false;
+    const PackedEvent packed = pack(event);
+    if (std::fputc(eventTag, file_) == EOF ||
+        !writeValue(file_, packed)) {
+        return false;
+    }
+    ++events_;
+    return true;
+}
+
+bool
+TraceStreamWriter::flush()
+{
+    return file_ && std::fflush(file_) == 0;
+}
+
+bool
+TraceStreamWriter::close()
+{
+    if (!file_)
+        return true;
+    const bool ok = std::fflush(file_) == 0;
+    std::fclose(file_);
+    file_ = nullptr;
+    return ok;
+}
+
+bool
+readTraceStream(const std::string &path, LoadedTrace *out,
+                bool *truncated, std::string *error)
+{
+    if (truncated)
+        *truncated = false;
+    FileHandle file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return fail(error, "cannot open " + path);
+
+    char magic[sizeof(streamMagic)];
+    if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
+        std::memcmp(magic, streamMagic, sizeof(magic)) != 0) {
+        return fail(error,
+                    path + " is not a PMDB stream trace (bad magic)");
+    }
+
+    out->events.clear();
+    const auto tail = [&] {
+        if (truncated)
+            *truncated = true;
+        return true;
+    };
+    for (;;) {
+        const int tag = std::fgetc(file.get());
+        if (tag == EOF)
+            return true; // clean end: file stops at a record boundary
+        if (tag == nameTag) {
+            std::uint32_t id = 0;
+            std::uint32_t len = 0;
+            if (!readValue(file.get(), &id) ||
+                !readValue(file.get(), &len)) {
+                return tail();
+            }
+            if (len > (1u << 20))
+                return fail(error, "corrupt stream: name length");
+            std::string name(len, '\0');
+            if (len &&
+                std::fread(name.data(), 1, len, file.get()) != len) {
+                return tail();
+            }
+            if (id != out->names.size())
+                return fail(error, "corrupt stream: name id order");
+            out->names.intern(name);
+        } else if (tag == eventTag) {
+            PackedEvent packed;
+            if (!readValue(file.get(), &packed))
+                return tail();
+            out->events.push_back(unpack(packed));
+        } else {
+            return fail(error, "corrupt stream: unknown record tag");
+        }
+    }
 }
 
 } // namespace pmdb

@@ -11,11 +11,22 @@
  *   magic   "PMDBTRC1"                      (8 bytes)
  *   u32     name count                       + each: u32 len, bytes
  *   u64     event count                      + each: packed EventRecord
+ *
+ * The batch format above needs the full event vector up front. The
+ * *stream* format ("PMDBTRS1") is an append-only sibling for writers
+ * that cannot know the final event count — live spill-to-disk under
+ * backpressure, long-running recorders: a magic header followed by
+ * tagged records ('N' interned name, 'E' packed event), flushable at
+ * any record boundary. Because a crash can truncate the file
+ * mid-record, readTraceStream recovers the longest valid prefix
+ * instead of failing.
  */
 
 #ifndef PMDB_TRACE_TRACE_FILE_HH
 #define PMDB_TRACE_TRACE_FILE_HH
 
+#include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -46,6 +57,70 @@ bool writeTraceFile(const std::string &path,
  */
 bool readTraceFile(const std::string &path, LoadedTrace *out,
                    std::string *error = nullptr);
+
+/**
+ * Incremental writer for the stream trace format: events (and the
+ * names they reference) are appended one record at a time, and flush()
+ * makes everything written so far durable enough for a concurrent or
+ * post-crash reader to recover it. This is the degradation path of the
+ * detection service (a slow consumer spills the live stream to disk)
+ * and works standalone for record-as-you-go tracing.
+ */
+class TraceStreamWriter
+{
+  public:
+    TraceStreamWriter() = default;
+    ~TraceStreamWriter();
+
+    TraceStreamWriter(const TraceStreamWriter &) = delete;
+    TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+    /** Create/truncate @p path and write the stream header. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /**
+     * Append one interned-name record. Ids must arrive in intern order
+     * (0, 1, 2, ...) so readers can rebuild the NameTable; appending
+     * out of order fails.
+     */
+    bool appendName(std::uint32_t id, const std::string &name);
+
+    /**
+     * Append every name of @p names not yet written. Call before
+     * appending an event whose nameId is new.
+     */
+    bool syncNames(const NameTable &names);
+
+    /** Append one event record. */
+    bool append(const Event &event);
+
+    /** Flush buffered records to the OS (record-boundary durability). */
+    bool flush();
+
+    /** Flush and close; open() may be called again afterwards. */
+    bool close();
+
+    std::uint64_t eventsWritten() const { return events_; }
+    std::uint32_t namesWritten() const { return names_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t events_ = 0;
+    std::uint32_t names_ = 0;
+};
+
+/**
+ * Load a stream trace written by TraceStreamWriter. A truncated tail —
+ * the writer crashed or was killed mid-record — is not an error: the
+ * longest valid record prefix is returned and @p truncated (when
+ * non-null) is set. Returns false only for I/O failures, a bad header,
+ * or structural corruption (an unknown record tag).
+ */
+bool readTraceStream(const std::string &path, LoadedTrace *out,
+                     bool *truncated = nullptr,
+                     std::string *error = nullptr);
 
 } // namespace pmdb
 

@@ -46,6 +46,9 @@ CaseEnv::checkCrossFailure(const PmemDevice &device,
     if (pmdebugger) {
         CrossFailureChecker::check(*pmdebugger, device, verify,
                                    {.seq = runtime.eventCount()});
+    } else if (externalBugSink) {
+        CrossFailureChecker::check(externalBugSink, device, verify,
+                                   {.seq = runtime.eventCount()});
     }
 }
 

@@ -50,6 +50,13 @@ struct CaseEnv
     XfDetector *xfdetector = nullptr;
     /** Non-null when a crashsim session should capture this case. */
     CrashsimSession *crashsim = nullptr;
+    /**
+     * Out-of-process sink for externally detected bugs. When
+     * PMDebugger runs behind the detection service instead of
+     * in-process, manual cross-failure checks report here (the
+     * RemoteSink funnels them to the daemon over the control plane).
+     */
+    CrossFailureChecker::ReportSink externalBugSink;
     /** False runs the correct variant (false-positive check). */
     bool buggy = true;
 

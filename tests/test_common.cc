@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "common/types.hh"
@@ -177,6 +178,32 @@ TEST(FormatTest, Helpers)
     EXPECT_EQ(fmtPercent(12.34), "12.3%");
     EXPECT_EQ(fmtCount(1234567), "1,234,567");
     EXPECT_EQ(fmtCount(12), "12");
+}
+
+TEST(LogLevelTest, ParsesKnownNames)
+{
+    LogLevel level = LogLevel::Warn;
+    EXPECT_TRUE(parseLogLevel("debug", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("INFO", &level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("Warning", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("error", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("off", &level));
+    EXPECT_EQ(level, LogLevel::None);
+    EXPECT_TRUE(parseLogLevel("none", &level));
+    EXPECT_EQ(level, LogLevel::None);
+}
+
+TEST(LogLevelTest, RejectsUnknownNames)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("loud", &level));
+    EXPECT_FALSE(parseLogLevel("", &level));
+    // The out-param is untouched on failure.
+    EXPECT_EQ(level, LogLevel::Info);
 }
 
 TEST(Mix64Test, IsDeterministicAndSpreads)

@@ -327,6 +327,70 @@ TEST(DispatchPipeline, OverflowThreadIdsUseTheSharedPath)
     EXPECT_EQ(recorder.events()[0].thread, 1000);
 }
 
+/**
+ * PR 1 asserted the drain() barrier only for a single producer. Here
+ * four producer threads feed the async pipeline through their
+ * per-thread lock-free batches, across several produce/join/drain
+ * rounds: every drain must deliver everything produced so far (partial
+ * per-thread batches included), sequence numbers must be unique and
+ * gap-free, and per-thread order must survive the consumer thread.
+ */
+TEST(DispatchPipeline, AsyncDrainUnderMultipleProducerThreads)
+{
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    runtime.setThreadSafe(true);
+    runtime.setAsync(true);
+
+    constexpr int threads = 4;
+    constexpr int storesPerThread = 1500; // not a batch multiple
+    constexpr int rounds = 3;
+
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&runtime, t] {
+                for (int i = 0; i < storesPerThread; ++i) {
+                    runtime.store(0x1000 * (t + 1) + 8 * (i % 64), 8,
+                                  static_cast<ThreadId>(t));
+                    if (i % 100 == 99)
+                        runtime.fence(static_cast<ThreadId>(t));
+                }
+            });
+        }
+        for (auto &worker : workers)
+            worker.join();
+        runtime.drain();
+
+        const auto expected =
+            static_cast<std::size_t>(round + 1) * threads *
+            (storesPerThread + storesPerThread / 100);
+        ASSERT_EQ(recorder.events().size(), expected)
+            << "drain after round " << round
+            << " must deliver every event produced so far";
+    }
+
+    // Sequence numbers: unique and gap-free across all threads.
+    std::vector<SeqNum> seqs;
+    seqs.reserve(recorder.events().size());
+    for (const Event &event : recorder.events())
+        seqs.push_back(event.seq);
+    std::sort(seqs.begin(), seqs.end());
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+        ASSERT_EQ(seqs[i], i + 1) << "duplicate or missing seq";
+
+    // Per-thread subsequences keep program order.
+    std::vector<SeqNum> lastSeq(threads, 0);
+    for (const Event &event : recorder.events()) {
+        ASSERT_GE(event.thread, 0);
+        ASSERT_LT(event.thread, threads);
+        const auto t = static_cast<std::size_t>(event.thread);
+        EXPECT_GT(event.seq, lastSeq[t]);
+        lastSeq[t] = event.seq;
+    }
+}
+
 TEST(StrandTracking, PerThreadStrandsDoNotInterfere)
 {
     PmRuntime runtime;

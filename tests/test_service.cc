@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the out-of-process detection service: the shared-memory
+ * event ring, the wire protocol, and — the core guarantee — report
+ * identity: every bug-suite case detected through a pmdbd daemon
+ * (any shard count, any non-lossy backpressure policy) must produce
+ * exactly the bug report an in-process PmDebugger produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/debugger.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "service/remote_sink.hh"
+#include "service/spsc_ring.hh"
+#include "workloads/bug_suite.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+std::atomic<int> pathCounter{0};
+
+/** Unique per-test scratch path (cleaned up by the owner objects). */
+std::string
+scratchPath(const std::string &stem)
+{
+    return ::testing::TempDir() + "pmdb_svc_" + stem + "_" +
+           std::to_string(pathCounter.fetch_add(1));
+}
+
+/** Structural equality of two bug lists, with a useful diff. */
+::testing::AssertionResult
+sameBugs(const std::vector<BugReport> &local,
+         const std::vector<BugReport> &remote)
+{
+    if (local.size() != remote.size()) {
+        return ::testing::AssertionFailure()
+               << "bug count differs: local " << local.size()
+               << ", remote " << remote.size();
+    }
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        const BugReport &a = local[i];
+        const BugReport &b = remote[i];
+        if (a.type != b.type || a.range.start != b.range.start ||
+            a.range.end != b.range.end || a.seq != b.seq ||
+            a.cause != b.cause || a.detail != b.detail) {
+            return ::testing::AssertionFailure()
+                   << "bug " << i << " differs:\n  local:  "
+                   << a.toString() << "\n  remote: " << b.toString();
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Run one suite case with an in-process PmDebugger (the baseline). */
+std::vector<BugReport>
+runLocal(const BugCase &bug_case)
+{
+    PmRuntime runtime;
+    DebuggerConfig config;
+    config.model = bug_case.model;
+    if (!bug_case.orderSpec.empty())
+        config.orderSpec = OrderSpec::fromText(bug_case.orderSpec);
+    PmDebugger debugger(config);
+    runtime.attach(&debugger);
+    CaseEnv env{runtime};
+    env.pmdebugger = &debugger;
+    bug_case.scenario(env);
+    runtime.programEnd();
+    debugger.finalize();
+    return debugger.bugs().bugs();
+}
+
+/** Run one suite case through a daemon via RemoteSink. */
+std::vector<BugReport>
+runRemote(const BugCase &bug_case, const std::string &socket_path,
+          SlowConsumerPolicy policy = SlowConsumerPolicy::Block,
+          std::uint32_t ring_slots = 1024,
+          ReportBody *report_out = nullptr)
+{
+    PmRuntime runtime;
+    RemoteSink sink;
+    RemoteSink::Options options;
+    options.socketPath = socket_path;
+    options.ringPath = scratchPath("ring");
+    options.ringSlots = ring_slots;
+    options.policy = policy;
+    if (policy == SlowConsumerPolicy::Spill)
+        options.spillPath = scratchPath("spill");
+    options.model = bug_case.model;
+    options.orderSpecText = bug_case.orderSpec;
+    std::string error;
+    EXPECT_TRUE(sink.connect(options, &error)) << error;
+    runtime.attach(&sink);
+    CaseEnv env{runtime};
+    env.externalBugSink = [&sink](const BugReport &bug) {
+        sink.reportBug(bug);
+    };
+    bug_case.scenario(env);
+    runtime.programEnd();
+    ReportBody report;
+    EXPECT_TRUE(sink.finish(&report, &error)) << error;
+    if (report_out)
+        *report_out = report;
+    return report.bugs;
+}
+
+TEST(EventRingTest, PushPopAndWraparound)
+{
+    const std::string path = scratchPath("ringunit");
+    EventRing producer;
+    std::string error;
+    ASSERT_TRUE(producer.create(path, 8, &error)) << error;
+    EventRing consumer;
+    ASSERT_TRUE(consumer.open(path, &error)) << error;
+
+    // Several laps around the 8-slot ring.
+    Event out[4];
+    SeqNum next_push = 1;
+    SeqNum next_pop = 1;
+    for (int lap = 0; lap < 10; ++lap) {
+        for (int i = 0; i < 6; ++i) {
+            Event event;
+            event.addr = 0x100;
+            event.seq = next_push++;
+            ASSERT_TRUE(producer.tryPush(event));
+        }
+        while (next_pop < next_push) {
+            const std::size_t popped = consumer.tryPop(out, 4);
+            ASSERT_GT(popped, 0u);
+            for (std::size_t i = 0; i < popped; ++i)
+                EXPECT_EQ(out[i].seq, next_pop++);
+        }
+    }
+    EXPECT_EQ(consumer.size(), 0u);
+}
+
+TEST(EventRingTest, FullRingRejectsUntilDrained)
+{
+    const std::string path = scratchPath("ringfull");
+    EventRing ring;
+    ASSERT_TRUE(ring.create(path, 4));
+    Event event;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(event));
+    EXPECT_FALSE(ring.tryPush(event)); // out of credits
+    Event out[2];
+    EXPECT_EQ(ring.tryPop(out, 2), 2u);
+    EXPECT_TRUE(ring.tryPush(event));
+    EXPECT_EQ(ring.size(), 3u);
+    ring.countDrop();
+    ring.countDrop();
+    EXPECT_EQ(ring.droppedCount(), 2u);
+}
+
+TEST(EventRingTest, OpenRejectsGarbageFile)
+{
+    const std::string path = scratchPath("ringbad");
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite("this is not a ring", 1, 18, file);
+    std::fclose(file);
+    EventRing ring;
+    std::string error;
+    EXPECT_FALSE(ring.open(path, &error));
+    std::remove(path.c_str());
+}
+
+TEST(ProtocolTest, HelloRoundTrip)
+{
+    HelloBody hello;
+    hello.model = PersistencyModel::Strand;
+    hello.policy = SlowConsumerPolicy::Spill;
+    hello.orderSpecText = "a < b";
+    hello.ringPath = "/tmp/ring";
+    hello.spillPath = "/tmp/spill";
+    HelloBody parsed;
+    ASSERT_TRUE(HelloBody::deserialize(hello.serialize(), &parsed));
+    EXPECT_EQ(parsed.model, PersistencyModel::Strand);
+    EXPECT_EQ(parsed.policy, SlowConsumerPolicy::Spill);
+    EXPECT_EQ(parsed.orderSpecText, "a < b");
+    EXPECT_EQ(parsed.ringPath, "/tmp/ring");
+    EXPECT_EQ(parsed.spillPath, "/tmp/spill");
+}
+
+TEST(ProtocolTest, ReportRoundTripAndTruncationFails)
+{
+    ReportBody report;
+    BugReport bug;
+    bug.type = BugType::RedundantFlush;
+    bug.range = AddrRange(64, 128);
+    bug.seq = 42;
+    bug.cause = DurabilityCause::MissingFence;
+    bug.detail = "line flushed twice";
+    report.bugs.push_back(bug);
+    report.eventsProcessed = 1000;
+    report.eventsDropped = 3;
+    report.json = "{}";
+
+    const std::vector<std::uint8_t> wire = report.serialize();
+    ReportBody parsed;
+    ASSERT_TRUE(ReportBody::deserialize(wire, &parsed));
+    ASSERT_EQ(parsed.bugs.size(), 1u);
+    EXPECT_EQ(parsed.bugs[0].type, BugType::RedundantFlush);
+    EXPECT_EQ(parsed.bugs[0].range, AddrRange(64, 128));
+    EXPECT_EQ(parsed.bugs[0].seq, 42u);
+    EXPECT_EQ(parsed.bugs[0].detail, "line flushed twice");
+    EXPECT_EQ(parsed.eventsProcessed, 1000u);
+    EXPECT_EQ(parsed.eventsDropped, 3u);
+
+    std::vector<std::uint8_t> cut(wire.begin(), wire.end() - 3);
+    EXPECT_FALSE(ReportBody::deserialize(cut, &parsed));
+}
+
+TEST(ProtocolTest, PolicyNames)
+{
+    SlowConsumerPolicy policy;
+    EXPECT_TRUE(parseSlowConsumerPolicy("block", &policy));
+    EXPECT_EQ(policy, SlowConsumerPolicy::Block);
+    EXPECT_TRUE(parseSlowConsumerPolicy("spill", &policy));
+    EXPECT_EQ(policy, SlowConsumerPolicy::Spill);
+    EXPECT_FALSE(parseSlowConsumerPolicy("lossy", &policy));
+    EXPECT_STREQ(toString(SlowConsumerPolicy::Drop), "drop");
+}
+
+/** Identity over the full 78-case suite at a given shard count. */
+void
+suiteIdentityAtShards(std::size_t shards)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = shards;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    for (const BugCase &bug_case : bugSuite()) {
+        const std::vector<BugReport> local = runLocal(bug_case);
+        const std::vector<BugReport> remote =
+            runRemote(bug_case, config.socketPath);
+        EXPECT_TRUE(sameBugs(local, remote))
+            << "case " << bug_case.id << " (" << bug_case.name
+            << ") at " << shards << " shard(s)";
+    }
+    daemon.stop();
+}
+
+TEST(ServiceIdentityTest, FullBugSuiteOneShard)
+{
+    suiteIdentityAtShards(1);
+}
+
+TEST(ServiceIdentityTest, FullBugSuiteThreeShards)
+{
+    suiteIdentityAtShards(3);
+}
+
+TEST(ServiceIdentityTest, SpillPolicyWithTinyRingStaysExact)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = 2;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // A workload-backed case generates thousands of events; a 16-slot
+    // ring forces nearly the whole stream through the spill file.
+    int checked = 0;
+    for (const BugCase &bug_case : bugSuite()) {
+        if (bug_case.id % 13 != 0)
+            continue; // a sample is plenty: spilling is case-agnostic
+        ReportBody report;
+        const std::vector<BugReport> local = runLocal(bug_case);
+        const std::vector<BugReport> remote =
+            runRemote(bug_case, config.socketPath,
+                      SlowConsumerPolicy::Spill, 16, &report);
+        EXPECT_TRUE(sameBugs(local, remote))
+            << "case " << bug_case.id << " (" << bug_case.name << ")";
+        ++checked;
+    }
+    EXPECT_GT(checked, 2);
+    daemon.stop();
+}
+
+TEST(ServiceTest, DropPolicyCountsWhatItLoses)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Flood a 16-slot ring faster than the consumer's idle backoff
+    // can drain it; the Drop policy must account for every loss.
+    PmRuntime runtime;
+    RemoteSink sink;
+    RemoteSink::Options options;
+    options.socketPath = config.socketPath;
+    options.ringPath = scratchPath("ring");
+    options.ringSlots = 16;
+    options.policy = SlowConsumerPolicy::Drop;
+    ASSERT_TRUE(sink.connect(options, &error)) << error;
+    runtime.attach(&sink);
+    constexpr int stores = 20000;
+    for (int i = 0; i < stores; ++i)
+        runtime.store(0x1000 + 8u * (i % 64), 8);
+    runtime.programEnd();
+    ReportBody report;
+    ASSERT_TRUE(sink.finish(&report, &error)) << error;
+
+    EXPECT_EQ(report.eventsProcessed + report.eventsDropped,
+              static_cast<std::uint64_t>(stores) + 1); // + ProgramEnd
+    EXPECT_EQ(report.eventsDropped, sink.droppedEvents());
+    daemon.stop();
+}
+
+TEST(ServiceTest, TwoConcurrentClientsGetTheirOwnReports)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = 2;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Two different cases with different expected verdicts, streamed
+    // concurrently: the session mux must never cross the streams.
+    const BugCase &case_a = *casesOfType(BugType::NoDurability)[0];
+    const BugCase &case_b = *casesOfType(BugType::RedundantFlush)[0];
+    const std::vector<BugReport> local_a = runLocal(case_a);
+    const std::vector<BugReport> local_b = runLocal(case_b);
+
+    std::vector<BugReport> remote_a;
+    std::vector<BugReport> remote_b;
+    std::thread client_a([&] {
+        remote_a = runRemote(case_a, config.socketPath);
+    });
+    std::thread client_b([&] {
+        remote_b = runRemote(case_b, config.socketPath);
+    });
+    client_a.join();
+    client_b.join();
+
+    EXPECT_TRUE(sameBugs(local_a, remote_a)) << "client A";
+    EXPECT_TRUE(sameBugs(local_b, remote_b)) << "client B";
+
+    const std::vector<SessionSummary> sessions = daemon.summaries();
+    ASSERT_EQ(sessions.size(), 2u);
+    EXPECT_NE(sessions[0].id, sessions[1].id);
+    const std::string json = daemon.aggregatedJson();
+    EXPECT_NE(json.find("\"sessions\""), std::string::npos);
+    daemon.stop();
+}
+
+TEST(ServiceTest, MultiStripeStreamShardsByAddressRange)
+{
+    // Small stripes force a single session's stores across all three
+    // shards; the merged report must still equal in-process detection.
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = 3;
+    config.pool.stripeBytes = 4096;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const auto drive = [](PmRuntime &runtime) {
+        // 8 stripes; even stripes are flushed+fenced, odd are left
+        // unflushed -> one NoDurability site per odd stripe.
+        for (int round = 0; round < 3; ++round) {
+            for (Addr stripe = 0; stripe < 8; ++stripe) {
+                const Addr base = stripe * 4096;
+                runtime.store(base, 64);
+                if (stripe % 2 == 0)
+                    runtime.flush(base, 64);
+            }
+            runtime.fence();
+        }
+        runtime.programEnd();
+    };
+
+    PmRuntime localRuntime;
+    PmDebugger local;
+    localRuntime.attach(&local);
+    drive(localRuntime);
+    local.finalize();
+
+    PmRuntime remoteRuntime;
+    RemoteSink sink;
+    RemoteSink::Options options;
+    options.socketPath = config.socketPath;
+    options.ringPath = scratchPath("ring");
+    ASSERT_TRUE(sink.connect(options, &error)) << error;
+    remoteRuntime.attach(&sink);
+    drive(remoteRuntime);
+    ReportBody report;
+    ASSERT_TRUE(sink.finish(&report, &error)) << error;
+
+    // Shards finalize independently, so same-seq bugs may merge in a
+    // different relative order than one debugger's finalize pass;
+    // compare as sorted multisets.
+    const auto canonical = [](std::vector<BugReport> bugs) {
+        std::sort(bugs.begin(), bugs.end(),
+                  [](const BugReport &a, const BugReport &b) {
+                      return std::tie(a.seq, a.range.start,
+                                      a.range.end) <
+                             std::tie(b.seq, b.range.start,
+                                      b.range.end);
+                  });
+        return bugs;
+    };
+    EXPECT_TRUE(sameBugs(canonical(local.bugs().bugs()),
+                         canonical(report.bugs)));
+    EXPECT_EQ(local.bugs().countOf(BugType::NoDurability), 4u);
+    daemon.stop();
+}
+
+TEST(ServiceTest, ClientSurvivesMissingDaemon)
+{
+    RemoteSink sink;
+    RemoteSink::Options options;
+    options.socketPath = scratchPath("nonexistent.sock");
+    options.ringPath = scratchPath("ring");
+    options.connectTimeoutMs = 50;
+    std::string error;
+    EXPECT_FALSE(sink.connect(options, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(sink.connected());
+}
+
+} // namespace
+} // namespace pmdb

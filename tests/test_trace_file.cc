@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "core/report.hh"
 #include "detectors/persistence_inspector.hh"
@@ -135,6 +137,106 @@ TEST(TraceFileTest, ReplayFindsSameBugsAsLiveRun)
     EXPECT_EQ(replayed->bugs().total(), live->bugs().total());
     EXPECT_EQ(replayed->bugs().countOf(BugType::NoDurability),
               live->bugs().countOf(BugType::NoDurability));
+}
+
+TEST(TraceStreamTest, RoundTripWithInterleavedNames)
+{
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    runtime.registerPmem("stream.a", 0x40, 8);
+    runtime.store(0x40, 8);
+    runtime.flush(0x40, 64);
+    runtime.fence();
+    runtime.registerPmem("stream.b", 0x80, 16);
+    runtime.store(0x80, 16, /*thread=*/2);
+    runtime.programEnd();
+
+    TempPath path("stream.trs");
+    TraceStreamWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path.str(), &error)) << error;
+    // Names are appended as soon as they appear, interleaved with the
+    // events that reference them — the live-spill write pattern.
+    for (const Event &event : recorder.events()) {
+        ASSERT_TRUE(writer.syncNames(runtime.names()));
+        ASSERT_TRUE(writer.append(event));
+        ASSERT_TRUE(writer.flush());
+    }
+    EXPECT_EQ(writer.eventsWritten(), recorder.events().size());
+    ASSERT_TRUE(writer.close());
+
+    LoadedTrace loaded;
+    bool truncated = true;
+    ASSERT_TRUE(readTraceStream(path.str(), &loaded, &truncated, &error))
+        << error;
+    EXPECT_FALSE(truncated);
+    ASSERT_EQ(loaded.events.size(), recorder.events().size());
+    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].kind, recorder.events()[i].kind) << i;
+        EXPECT_EQ(loaded.events[i].addr, recorder.events()[i].addr) << i;
+        EXPECT_EQ(loaded.events[i].seq, recorder.events()[i].seq) << i;
+    }
+    ASSERT_EQ(loaded.names.size(), 2u);
+    EXPECT_EQ(loaded.names.name(0), "stream.a");
+    EXPECT_EQ(loaded.names.name(1), "stream.b");
+}
+
+TEST(TraceStreamTest, RecoversTruncatedTail)
+{
+    TempPath path("truncated.trs");
+    TraceStreamWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path.str(), &error)) << error;
+    ASSERT_TRUE(writer.appendName(0, "var"));
+    for (int i = 0; i < 10; ++i) {
+        Event event;
+        event.kind = EventKind::Store;
+        event.addr = 0x100 + 8u * static_cast<unsigned>(i);
+        event.size = 8;
+        event.seq = static_cast<SeqNum>(i + 1);
+        ASSERT_TRUE(writer.append(event));
+    }
+    ASSERT_TRUE(writer.close());
+
+    // Chop the file mid-record, as a crash would.
+    std::FILE *file = std::fopen(path.str().c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    std::error_code ec;
+    std::filesystem::resize_file(path.str(),
+                                 static_cast<std::uintmax_t>(size - 7),
+                                 ec);
+    ASSERT_FALSE(ec) << ec.message();
+
+    LoadedTrace loaded;
+    bool truncated = false;
+    ASSERT_TRUE(readTraceStream(path.str(), &loaded, &truncated, &error))
+        << error;
+    EXPECT_TRUE(truncated);
+    // The partial final record is dropped; everything before survives.
+    EXPECT_EQ(loaded.events.size(), 9u);
+    EXPECT_EQ(loaded.events.back().seq, 9u);
+    EXPECT_EQ(loaded.names.size(), 1u);
+}
+
+TEST(TraceStreamTest, RejectsBatchFormatMagic)
+{
+    // A batch-format trace is not a stream trace; the reader must say
+    // so instead of misparsing it.
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    runtime.store(0x100, 8);
+    TempPath path("batch.trc");
+    std::string error;
+    ASSERT_TRUE(writeTraceFile(path.str(), recorder.events(),
+                               runtime.names(), &error));
+    LoadedTrace loaded;
+    EXPECT_FALSE(readTraceStream(path.str(), &loaded, nullptr, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
 }
 
 TEST(PersistenceInspectorTest, PostMortemFindsDurabilityBugs)

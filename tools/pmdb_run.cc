@@ -9,6 +9,14 @@
  *   pmdb_run <checker> <inputsize> <workload>
  *            [--threads N] [--fault NAME]... [--set-ratio R]
  *            [--trace-out FILE] [--json] [--seed S]
+ *            [--connect SOCKET] [--policy block|drop|spill]
+ *            [--ring-slots N]
+ *   pmdb_run --list
+ *
+ * With --connect, detection runs out-of-process: the event stream is
+ * shipped to a pmdbd daemon at SOCKET and the daemon's report is
+ * printed. The checker must be "pmdebugger" (that is what the daemon
+ * runs).
  *
  *   checker: pmdebugger | pmemcheck | pmtest | xfdetector |
  *            persistence_inspector | nulgrind | none
@@ -23,10 +31,13 @@
 #include <memory>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/stopwatch.hh"
 #include "core/report.hh"
 #include "detectors/pmtest.hh"
 #include "detectors/registry.hh"
+#include "service/remote_sink.hh"
 #include "trace/recorder.hh"
 #include "trace/trace_file.hh"
 #include "workloads/workload.hh"
@@ -52,6 +63,23 @@ usage(const char *argv0)
     std::fprintf(stderr, "\n");
 }
 
+/**
+ * Print the registered checker and workload names, one per line,
+ * grouped under a header — script-friendly discovery instead of
+ * erroring on an unknown name.
+ */
+void
+listRegistries()
+{
+    std::printf("checkers:\n");
+    for (const std::string &name : pmdb::detectorNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("  none\n");
+    std::printf("workloads:\n");
+    for (const std::string &name : pmdb::workloadNames())
+        std::printf("  %s\n", name.c_str());
+}
+
 } // namespace
 
 int
@@ -59,6 +87,10 @@ main(int argc, char **argv)
 {
     using namespace pmdb;
 
+    if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+        listRegistries();
+        return 0;
+    }
     if (argc < 4) {
         usage(argv[0]);
         return 2;
@@ -70,6 +102,9 @@ main(int argc, char **argv)
     WorkloadOptions options;
     options.operations = ops;
     std::string trace_out;
+    std::string connect_socket;
+    SlowConsumerPolicy policy = SlowConsumerPolicy::Block;
+    std::uint32_t ring_slots = 4096;
     bool json = false;
     for (int i = 4; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -90,6 +125,16 @@ main(int argc, char **argv)
             options.seed = std::strtoull(next(), nullptr, 10);
         else if (arg == "--trace-out")
             trace_out = next();
+        else if (arg == "--connect")
+            connect_socket = next();
+        else if (arg == "--policy") {
+            if (!parseSlowConsumerPolicy(next(), &policy)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--ring-slots")
+            ring_slots =
+                static_cast<std::uint32_t>(std::atoi(next()));
         else if (arg == "--json")
             json = true;
         else {
@@ -106,6 +151,63 @@ main(int argc, char **argv)
     }
 
     PmRuntime runtime;
+
+    if (!connect_socket.empty()) {
+        if (checker != "pmdebugger") {
+            std::fprintf(stderr,
+                         "--connect runs the daemon's pmdebugger; "
+                         "pass 'pmdebugger' as the checker\n");
+            return 2;
+        }
+        const std::string base =
+            "/tmp/pmdb_client." + std::to_string(::getpid());
+        RemoteSink::Options ropts;
+        ropts.socketPath = connect_socket;
+        ropts.ringPath = base + ".ring";
+        ropts.ringSlots = ring_slots;
+        ropts.policy = policy;
+        if (policy == SlowConsumerPolicy::Spill)
+            ropts.spillPath = base + ".spill";
+        ropts.model = workload->model();
+        ropts.orderSpecText = workload->orderSpecText();
+
+        RemoteSink sink;
+        std::string error;
+        if (!sink.connect(ropts, &error)) {
+            std::fprintf(stderr, "pmdbd connect failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        runtime.attach(&sink);
+
+        Stopwatch watch;
+        workload->run(runtime, options);
+        const double seconds = watch.elapsedSeconds();
+
+        ReportBody report;
+        if (!sink.finish(&report, &error)) {
+            std::fprintf(stderr, "pmdbd session failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (json) {
+            std::printf("%s\n", report.json.c_str());
+        } else {
+            std::printf("%s via pmdbd: %zu ops in %.4fs\n",
+                        workload_name.c_str(), ops, seconds);
+            std::printf("events: %llu processed, %llu dropped\n",
+                        static_cast<unsigned long long>(
+                            report.eventsProcessed),
+                        static_cast<unsigned long long>(
+                            report.eventsDropped));
+            BugCollector bugs;
+            for (const BugReport &bug : report.bugs)
+                bugs.report(bug);
+            std::printf("%s", bugs.summary().c_str());
+        }
+        return 0;
+    }
+
     DebuggerConfig config;
     config.model = workload->model();
     if (!workload->orderSpecText().empty())

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * pmdbd — the out-of-process detection daemon.
+ *
+ * Listens on a Unix-domain socket for trace-stream sessions (see
+ * src/service/), runs each through the sharded detector pool, and
+ * replies to every client with its merged bug report.
+ *
+ * Usage:
+ *   pmdbd --socket PATH [--shards N] [--stripe-bytes B]
+ *         [--array-capacity N] [--once N] [--json]
+ *
+ *   --once N   exit after N sessions complete (CI smoke tests);
+ *              without it, run until SIGINT/SIGTERM.
+ *   --json     print the aggregated per-session report on exit.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.hh"
+
+namespace
+{
+
+std::atomic<bool> interrupted{false};
+
+void
+onSignal(int)
+{
+    interrupted.store(true);
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--shards N] "
+                 "[--stripe-bytes B]\n"
+                 "          [--array-capacity N] [--once N] [--json]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmdb;
+
+    ServiceConfig config;
+    long once = -1;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            config.socketPath = next();
+        else if (arg == "--shards")
+            config.pool.shards =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--stripe-bytes")
+            config.pool.stripeBytes =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--array-capacity")
+            config.pool.arrayCapacity =
+                std::strtoull(next(), nullptr, 10);
+        else if (arg == "--once")
+            once = std::strtol(next(), nullptr, 10);
+        else if (arg == "--json")
+            json = true;
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    ServiceDaemon daemon(config);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "pmdbd: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "pmdbd: listening on %s (%zu shards)\n",
+                 config.socketPath.c_str(), config.pool.shards);
+
+    if (once >= 0) {
+        while (!interrupted.load() &&
+               !daemon.waitForSessions(static_cast<std::size_t>(once),
+                                       200)) {
+        }
+    } else {
+        while (!interrupted.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+    }
+    daemon.stop();
+
+    if (json)
+        std::printf("%s\n", daemon.aggregatedJson().c_str());
+    std::fprintf(stderr, "pmdbd: served %zu session(s)\n",
+                 daemon.completedSessions());
+    return 0;
+}
