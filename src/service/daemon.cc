@@ -6,6 +6,7 @@
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -147,6 +148,13 @@ ServiceDaemon::acceptLoop()
         const int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
+        // Backstop against a client wedged mid-message: blocking
+        // recvs on this socket give up after a while instead of
+        // pinning the session thread (and stop()'s join) forever.
+        timeval recvTimeout{};
+        recvTimeout.tv_sec = 5;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recvTimeout,
+                     sizeof(recvTimeout));
         std::lock_guard<std::mutex> lock(sessionThreadsMutex_);
         sessionThreads_.emplace_back(
             [this, fd] { serveSession(fd); });
@@ -160,7 +168,18 @@ ServiceDaemon::serveSession(int fd)
     MsgType type;
     std::vector<std::uint8_t> payload;
     HelloBody hello;
-    if (!recvMessage(fd, &type, &payload) || type != MsgType::Hello ||
+    // A client may connect and never speak; wait for the Hello with
+    // the stop flag in the loop so stop() is never stuck joining a
+    // thread that is blocked in recv on a silent socket.
+    bool helloReady = false;
+    while (!stopping_.load()) {
+        if (readable(fd, 200)) {
+            helloReady = true;
+            break;
+        }
+    }
+    if (!helloReady || !recvMessage(fd, &type, &payload) ||
+        type != MsgType::Hello ||
         !HelloBody::deserialize(payload, &hello)) {
         ::close(fd);
         return;
@@ -227,7 +246,15 @@ ServiceDaemon::serveSession(int fd)
                 break;
               }
               case MsgType::Bye:
-                ByeBody::deserialize(payload, &bye);
+                if (!ByeBody::deserialize(payload, &bye)) {
+                    // A truncated Bye would silently zero the spill
+                    // accounting and drop the spilled tail from the
+                    // report; treat the session as aborted instead.
+                    warn("service: malformed Bye; aborting session " +
+                         std::to_string(session));
+                    clientAlive = false;
+                    break;
+                }
                 sawBye = true;
                 break;
               default:

@@ -113,15 +113,29 @@ RemoteSink::push(const Event &event)
         return;
     }
     switch (options_.policy) {
-      case SlowConsumerPolicy::Block:
+      case SlowConsumerPolicy::Block: {
         // Out of credits: yield until the consumer frees a slot. The
         // sleep matters on a single-CPU box, where pure spinning would
-        // starve the very consumer being waited on.
+        // starve the very consumer being waited on. A full ring that
+        // never drains means the daemon is gone, so probe the control
+        // socket every ~10ms and cut the stream rather than hang the
+        // instrumented application forever.
+        int sleeps = 0;
         while (!ring_.tryPush(event)) {
             std::this_thread::sleep_for(std::chrono::microseconds(50));
+            if (++sleeps >= 200) {
+                sleeps = 0;
+                if (peerClosed(fd_)) {
+                    dead_ = true;
+                    warn("service client: daemon vanished while "
+                         "blocked on a full ring; stream cut");
+                    return;
+                }
+            }
         }
         ++pushed_;
         break;
+      }
       case SlowConsumerPolicy::Drop:
         ring_.countDrop();
         ++dropped_;

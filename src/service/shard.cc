@@ -375,12 +375,16 @@ ShardPool::workerLoop(Worker &worker, std::size_t index)
             }
             CloseBarrier *barrier = task.barrier;
             {
+                // Notify while still holding the mutex: the barrier
+                // lives on closeSession's stack and is destroyed as
+                // soon as the closer observes remaining == 0. An
+                // unlocked notify could run after that destruction.
                 std::lock_guard<std::mutex> lock(barrier->mutex);
                 barrier->bugs[index] = std::move(bugs);
                 barrier->stats[index] = stats;
                 --barrier->remaining;
+                barrier->done.notify_all();
             }
-            barrier->done.notify_all();
             break;
           }
         }

@@ -167,4 +167,17 @@ readable(int fd, int timeout_ms)
            (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
+bool
+peerClosed(int fd)
+{
+    // events == 0: POLLHUP/POLLERR/POLLNVAL are always reported, and
+    // pending readable data does not make this fire.
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = 0;
+    pfd.revents = 0;
+    return ::poll(&pfd, 1, 0) > 0 &&
+           (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
 } // namespace pmdb

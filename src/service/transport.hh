@@ -45,6 +45,13 @@ bool recvMessage(int fd, MsgType *type,
 /** True when a full recv on @p fd would not block right now. */
 bool readable(int fd, int timeout_ms = 0);
 
+/**
+ * True when the peer has hung up or the socket errored — without
+ * consuming any pending data. Used as a liveness probe while blocked
+ * on something other than the socket itself.
+ */
+bool peerClosed(int fd);
+
 } // namespace pmdb
 
 #endif // PMDB_SERVICE_TRANSPORT_HH

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/debugger.hh"
 #include "service/daemon.hh"
 #include "service/protocol.hh"
@@ -29,11 +31,15 @@ namespace
 
 std::atomic<int> pathCounter{0};
 
-/** Unique per-test scratch path (cleaned up by the owner objects). */
+/** Unique per-test scratch path (cleaned up by the owner objects).
+ *  Includes the pid: ctest runs each case as its own process, and
+ *  concurrent processes must not collide on socket/ring paths —
+ *  listenUnix unlinks and rebinds an existing path. */
 std::string
 scratchPath(const std::string &stem)
 {
-    return ::testing::TempDir() + "pmdb_svc_" + stem + "_" +
+    return ::testing::TempDir() + "pmdb_svc_" +
+           std::to_string(::getpid()) + "_" + stem + "_" +
            std::to_string(pathCounter.fetch_add(1));
 }
 

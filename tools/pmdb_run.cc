@@ -25,6 +25,7 @@
  *             ycsb_a..ycsb_f
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -132,10 +133,23 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
-        } else if (arg == "--ring-slots")
-            ring_slots =
-                static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--json")
+        } else if (arg == "--ring-slots") {
+            // atoi would turn "-1" into 4 billion slots and a
+            // multi-hundred-GB ring mapping; validate instead.
+            const char *text = next();
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long value = std::strtoul(text, &end, 10);
+            constexpr unsigned long maxRingSlots = 1ul << 22;
+            if (errno != 0 || end == text || *end != '\0' ||
+                value == 0 || value > maxRingSlots) {
+                std::fprintf(stderr,
+                             "--ring-slots must be 1..%lu, got '%s'\n",
+                             maxRingSlots, text);
+                return 2;
+            }
+            ring_slots = static_cast<std::uint32_t>(value);
+        } else if (arg == "--json")
             json = true;
         else {
             usage(argv[0]);
