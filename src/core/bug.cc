@@ -1,5 +1,6 @@
 #include "core/bug.hh"
 
+#include <cstdio>
 #include <sstream>
 
 namespace pmdb
@@ -40,16 +41,91 @@ BugReport::toString() const
     return out.str();
 }
 
+namespace
+{
+
+/** FNV-1a, the project's stock non-cryptographic string hash. */
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::uint64_t
+BugFingerprint::hash() const
+{
+    std::uint64_t h = fnv1a(&type, sizeof(type));
+    h = fnv1a(&start, sizeof(start), h);
+    h = fnv1a(&end, sizeof(end), h);
+    h = fnv1a(&contextHash, sizeof(contextHash), h);
+    return h;
+}
+
+std::string
+BugFingerprint::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s@0x%llx+%llu#%08llx",
+                  pmdb::toString(type),
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(end - start),
+                  static_cast<unsigned long long>(contextHash));
+    return buf;
+}
+
+BugFingerprint
+fingerprintOf(const BugReport &report)
+{
+    BugFingerprint fp;
+    fp.type = report.type;
+    if (!report.range.empty()) {
+        fp.start = report.range.start;
+        fp.end = report.range.end;
+    }
+    // Context = the rule's stable discriminators only. The prose detail
+    // and detection seq are excluded on purpose: they shift when a
+    // trace is sliced or replayed, and the fingerprint must not.
+    const auto cause = static_cast<std::uint8_t>(report.cause);
+    std::uint64_t h = fnv1a(&cause, sizeof(cause));
+    h = fnv1a(report.context.data(), report.context.size(), h);
+    fp.contextHash = h & 0xffffffffULL; // 32 bits read fine in reports
+    return fp;
+}
+
 bool
 BugCollector::report(const BugReport &report)
 {
     ++occurrences_;
-    const SiteKey key{report.type, report.range.start, report.range.end};
-    auto [it, inserted] = sites_.try_emplace(key, bugs_.size());
+    auto [it, inserted] =
+        sites_.try_emplace(fingerprintOf(report), bugs_.size());
     if (!inserted)
         return false;
     bugs_.push_back(report);
     return true;
+}
+
+const BugReport *
+BugCollector::find(const BugFingerprint &fingerprint) const
+{
+    auto it = sites_.find(fingerprint);
+    return it == sites_.end() ? nullptr : &bugs_[it->second];
+}
+
+std::vector<BugFingerprint>
+BugCollector::fingerprints() const
+{
+    std::vector<BugFingerprint> fps;
+    fps.reserve(bugs_.size());
+    for (const BugReport &bug : bugs_)
+        fps.push_back(fingerprintOf(bug));
+    return fps;
 }
 
 std::size_t

@@ -72,14 +72,51 @@ struct BugReport
     DurabilityCause cause = DurabilityCause::NotApplicable;
     /** Human-readable explanation. */
     std::string detail;
+    /**
+     * Optional *stable* context a rule attaches to distinguish
+     * same-site reports (e.g. the constraint pair of an ordering rule).
+     * Unlike @ref detail it must not embed run-dependent data (sequence
+     * numbers, counts): it is hashed into the bug's fingerprint.
+     */
+    std::string context;
 
     std::string toString() const;
 };
 
 /**
+ * Stable identity of a bug site: rule id + canonicalized address range
+ * + a hash of the rule's stable context (durability cause plus
+ * BugReport::context). Two detections of the same program bug — in the
+ * same run, across replays of the same trace, or across a trace and its
+ * minimized witness — produce equal fingerprints, while the detection
+ * seq and prose detail are deliberately excluded. This is the
+ * minimizer's "same bug still present?" oracle and the dedup key of
+ * BugCollector.
+ */
+struct BugFingerprint
+{
+    BugType type = BugType::NoDurability;
+    /** Canonical half-open range; empty ranges normalize to [0, 0). */
+    Addr start = 0;
+    Addr end = 0;
+    std::uint64_t contextHash = 0;
+
+    auto operator<=>(const BugFingerprint &) const = default;
+
+    /** Combined 64-bit hash (for unordered containers / caches). */
+    std::uint64_t hash() const;
+
+    /** Stable text form: "<rule>@0x<start>+<size>#<context hash>". */
+    std::string toString() const;
+};
+
+/** Compute the fingerprint of a report. */
+BugFingerprint fingerprintOf(const BugReport &report);
+
+/**
  * Collects bug reports, deduplicating repeat detections of the same
- * (type, range) site so that loops do not inflate bug counts: a "bug"
- * in the Table 6 sense is a unique program site.
+ * fingerprint so that loops do not inflate bug counts: a "bug" in the
+ * Table 6 sense is a unique program site.
  */
 class BugCollector
 {
@@ -100,22 +137,26 @@ class BugCollector
 
     bool hasAny(BugType type) const { return countOf(type) > 0; }
 
+    /** Whether a bug with exactly this fingerprint was reported. */
+    bool has(const BugFingerprint &fingerprint) const
+    {
+        return sites_.count(fingerprint) > 0;
+    }
+
+    /** The report behind @p fingerprint, or null. */
+    const BugReport *find(const BugFingerprint &fingerprint) const;
+
+    /** Fingerprints of all unique sites, in report order. */
+    std::vector<BugFingerprint> fingerprints() const;
+
     void clear();
 
     /** Render a pmemcheck-style bug summary. */
     std::string summary() const;
 
   private:
-    struct SiteKey
-    {
-        BugType type;
-        Addr start;
-        Addr end;
-        auto operator<=>(const SiteKey &) const = default;
-    };
-
     std::vector<BugReport> bugs_;
-    std::map<SiteKey, std::size_t> sites_;
+    std::map<BugFingerprint, std::size_t> sites_;
     std::uint64_t occurrences_ = 0;
 };
 

@@ -64,6 +64,8 @@ appendBugs(std::ostringstream &out, const BugCollector &bugs)
             out << ", ";
         first = false;
         out << "{\"type\": \"" << toString(bug.type) << "\", "
+            << "\"fingerprint\": \""
+            << fingerprintOf(bug).toString() << "\", "
             << "\"start\": " << bug.range.start << ", "
             << "\"end\": " << bug.range.end << ", "
             << "\"seq\": " << bug.seq << ", "

@@ -180,6 +180,7 @@ NoOrderRule::onFence(DebugContext &ctx, const Event &event)
                 report.type = BugType::NoOrderGuarantee;
                 report.range = orders.var(y).range;
                 report.seq = event.seq;
+                report.context = first.name + "<" + orders.var(y).name;
                 report.detail = "'" + orders.var(y).name +
                                 "' became durable before '" + first.name +
                                 "'";
@@ -308,6 +309,7 @@ StrandOrderRule::onFlush(DebugContext &ctx, const Event &event,
             report.type = BugType::LackOrderingInStrands;
             report.range = second.range;
             report.seq = event.seq;
+            report.context = first.name + "<" + second.name;
             report.detail = "strand " + std::to_string(event.strand) +
                             " persists '" + second.name + "' before '" +
                             first.name + "' is durable";

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Witness minimizer: ddmin-style delta debugging over a recorded event
+ * trace.
+ *
+ * Given a trace and a target bug (a BugFingerprint), the minimizer
+ * searches for a small event subsequence that still makes PMDebugger
+ * report exactly that bug. Candidate subsequences are validated by the
+ * replay oracle; verdicts are cached by a hash of the kept-index set so
+ * the ddmin recursion never replays the same candidate twice.
+ *
+ * Slicing is *structure-preserving*: epoch and strand sections are
+ * removed or kept as matched Begin/End pairs, and any event recorded
+ * inside a section can only survive together with that section's
+ * markers (so a TxLog never ends up outside its transaction, and a
+ * store keeps its original epoch/strand interpretation). ProgramEnd is
+ * pinned. The result is 1-minimal over these deletion units: removing
+ * any single remaining unit loses the bug.
+ */
+
+#ifndef PMDB_REPAIR_MINIMIZE_HH
+#define PMDB_REPAIR_MINIMIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "repair/oracle.hh"
+#include "trace/trace_file.hh"
+
+namespace pmdb
+{
+
+/** Minimizer bounds. */
+struct MinimizeOptions
+{
+    /** Replay budget; the search stops early (best-so-far) beyond it. */
+    std::size_t maxReplays = 4096;
+};
+
+/** Search statistics (the repair bench's replays-to-converge metric). */
+struct MinimizeStats
+{
+    std::size_t originalEvents = 0;
+    std::size_t minimizedEvents = 0;
+    /** Oracle replays actually performed. */
+    std::uint64_t replays = 0;
+    /** Candidates answered from the verdict cache without a replay. */
+    std::uint64_t cacheHits = 0;
+
+    double
+    shrinkFactor() const
+    {
+        return minimizedEvents
+                   ? static_cast<double>(originalEvents) /
+                         static_cast<double>(minimizedEvents)
+                   : 0.0;
+    }
+};
+
+/** Minimization outcome. */
+struct MinimizeResult
+{
+    /** False when the target bug does not reproduce on the full trace. */
+    bool reproduced = false;
+    /** Minimal witness (events keep their original sequence numbers). */
+    std::vector<Event> events;
+    MinimizeStats stats;
+};
+
+/**
+ * Minimize @p trace with respect to @p target, replaying candidates
+ * through a PmDebugger configured with @p config.
+ */
+MinimizeResult minimizeWitness(const LoadedTrace &trace,
+                               const BugFingerprint &target,
+                               const DebuggerConfig &config,
+                               const MinimizeOptions &options = {});
+
+} // namespace pmdb
+
+#endif // PMDB_REPAIR_MINIMIZE_HH

@@ -1,0 +1,47 @@
+#include "repair/oracle.hh"
+
+#include <algorithm>
+
+#include "core/debugger.hh"
+
+namespace pmdb
+{
+
+bool
+ReplayReport::has(const BugFingerprint &fingerprint) const
+{
+    return std::binary_search(fingerprints.begin(), fingerprints.end(),
+                              fingerprint);
+}
+
+const BugReport *
+ReplayReport::find(const BugFingerprint &fingerprint) const
+{
+    for (const BugReport &bug : bugs) {
+        if (fingerprintOf(bug) == fingerprint)
+            return &bug;
+    }
+    return nullptr;
+}
+
+ReplayReport
+ReplayOracle::replay(const std::vector<Event> &events) const
+{
+    ++replays_;
+    PmDebugger debugger(config_);
+    debugger.attached(names_);
+    for (const Event &event : events)
+        debugger.handle(event);
+    // A recorded trace normally ends in ProgramEnd (which finalizes);
+    // candidate slices may have lost it, so finalize explicitly — the
+    // debugger guards against running its finalize rules twice.
+    debugger.finalize();
+
+    ReplayReport report;
+    report.bugs = debugger.bugs().bugs();
+    report.fingerprints = debugger.bugs().fingerprints();
+    std::sort(report.fingerprints.begin(), report.fingerprints.end());
+    return report;
+}
+
+} // namespace pmdb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Replay oracle for the diagnosis-and-repair engine.
+ *
+ * Both the witness minimizer and the repair synthesizer ask the same
+ * question over and over: "what does PMDebugger report on *this*
+ * candidate event sequence?". The oracle answers it by replaying the
+ * sequence through a fresh detector instance configured exactly like
+ * the original run, and reducing the result to the set of bug
+ * fingerprints — the stable identities that survive slicing and
+ * patching (BugReport seq and prose move; fingerprints do not).
+ */
+
+#ifndef PMDB_REPAIR_ORACLE_HH
+#define PMDB_REPAIR_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bug.hh"
+#include "core/config.hh"
+#include "trace/event.hh"
+#include "trace/sink.hh"
+
+namespace pmdb
+{
+
+/** Result of replaying one candidate event sequence. */
+struct ReplayReport
+{
+    /** Fingerprints of every unique bug, sorted. */
+    std::vector<BugFingerprint> fingerprints;
+    /** The full reports behind them (report order). */
+    std::vector<BugReport> bugs;
+
+    /** Binary search over the sorted fingerprint set. */
+    bool has(const BugFingerprint &fingerprint) const;
+
+    /** The report matching @p fingerprint, or null. */
+    const BugReport *find(const BugFingerprint &fingerprint) const;
+};
+
+/**
+ * Replays candidate event sequences through fresh PmDebugger instances.
+ * The NameTable must outlive the oracle (it is referenced, not copied,
+ * by each replay).
+ */
+class ReplayOracle
+{
+  public:
+    ReplayOracle(DebuggerConfig config, const NameTable &names)
+        : config_(std::move(config)), names_(names)
+    {
+    }
+
+    /** Replay @p events through a fresh detector; finalize included. */
+    ReplayReport replay(const std::vector<Event> &events) const;
+
+    /** Replays performed so far (the repair engine's cost metric). */
+    std::uint64_t replays() const { return replays_; }
+
+  private:
+    DebuggerConfig config_;
+    const NameTable &names_;
+    mutable std::uint64_t replays_ = 0;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_REPAIR_ORACLE_HH

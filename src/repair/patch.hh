@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Repair synthesizer: turn a diagnosed bug into a verified trace patch.
+ *
+ * For each rule class with a patch vocabulary the synthesizer
+ * enumerates candidate edits against the recorded event sequence —
+ * inserting CLWB/SFENCE events at the durability or ordering boundary
+ * the rule found violated, or deleting the redundant operation a
+ * performance rule flagged — and verifies each candidate by replaying
+ * the fully patched trace through a fresh detector. A patch is
+ * *verified* when the target bug is gone, no bug absent from the
+ * original run appears, and (for correctness rules) the target range is
+ * structurally durable at trace end under the crashsim line-state scan.
+ * The cheapest verified candidate (fewest edits) wins.
+ */
+
+#ifndef PMDB_REPAIR_PATCH_HH
+#define PMDB_REPAIR_PATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "crashsim/crash_points.hh"
+#include "repair/oracle.hh"
+#include "trace/trace_file.hh"
+
+namespace pmdb
+{
+
+/** One edit against the original event sequence. */
+struct TraceEdit
+{
+    enum class Op
+    {
+        /** Insert `event` immediately before original index `index`. */
+        Insert,
+        /** Delete the event at original index `index`. */
+        Delete,
+    };
+
+    Op op = Op::Insert;
+    /**
+     * Insert: position in the working sequence at insertion time
+     * (insert before it); the synthesizer applies edits iteratively,
+     * so later edits see earlier ones. Cascade deletes likewise record
+     * the working-sequence position at deletion time; the `note` names
+     * the event by kind and seq, which is the stable way to identify
+     * it.
+     */
+    std::size_t index = 0;
+    Event event; // Insert only
+    /** Human-readable advisory line ("insert CLWB(0x...) ..."). */
+    std::string note;
+};
+
+/** A candidate (or final) patch: edits sorted by original index. */
+struct TracePatch
+{
+    std::vector<TraceEdit> edits;
+    /** One-line strategy description ("insert flush+fence after ..."). */
+    std::string strategy;
+};
+
+/**
+ * Apply @p patch to @p events. Inserts land before their index (stable
+ * among themselves), deletes remove their index, and the result is
+ * renumbered seq 1..n so it replays and records like a fresh trace.
+ */
+std::vector<Event> applyPatch(const std::vector<Event> &events,
+                              const TracePatch &patch);
+
+/** Synthesizer bounds. */
+struct RepairOptions
+{
+    /** Cap on insertion candidates tried per bug. */
+    std::size_t maxCandidates = 64;
+    /**
+     * Cap on fix-one-occurrence rounds per candidate (one fingerprint
+     * can stand for many violation sites; each round repairs one).
+     */
+    std::size_t maxInsertRounds = 256;
+    /** Cap on iterations of the deletion loop (perf rules). */
+    std::size_t maxDeleteIterations = 4096;
+    /** Run the structural crashsim scan on the patched trace. */
+    bool crashsimCheck = true;
+};
+
+/** Outcome of one repair attempt. */
+struct RepairResult
+{
+    /** The target bug reproduced on the input trace. */
+    bool targetPresent = false;
+    /** A candidate passed full verification. */
+    bool verified = false;
+    TracePatch patch;
+    /** The patched event sequence (renumbered), when verified. */
+    std::vector<Event> patchedEvents;
+    /** Advisory lines for the user (one per edit, plus the strategy). */
+    std::vector<std::string> advisory;
+    std::size_t candidatesTried = 0;
+    std::uint64_t replays = 0;
+    /** Structural crash-point scan of the patched trace (if run). */
+    CrashScanSummary crashScan;
+};
+
+/**
+ * True if @p type has a patch vocabulary — repairTrace can synthesize
+ * candidate patches for it. CrossFailureSemantic bugs need live
+ * verifiers and cannot be repaired from a trace.
+ */
+bool ruleClassHasVocabulary(BugType type);
+
+/**
+ * Synthesize and verify a patch for @p target against @p trace,
+ * replaying candidates through a PmDebugger configured with @p config.
+ */
+RepairResult repairTrace(const LoadedTrace &trace,
+                         const BugFingerprint &target,
+                         const DebuggerConfig &config,
+                         const RepairOptions &options = {});
+
+} // namespace pmdb
+
+#endif // PMDB_REPAIR_PATCH_HH

@@ -84,6 +84,7 @@ putBugReport(WireWriter &out, const BugReport &bug)
     out.put(bug.range.end);
     out.put(bug.seq);
     out.putString(bug.detail);
+    out.putString(bug.context);
 }
 
 BugReport
@@ -96,6 +97,7 @@ getBugReport(WireReader &in)
     bug.range.end = in.get<Addr>();
     bug.seq = in.get<SeqNum>();
     bug.detail = in.getString();
+    bug.context = in.getString();
     return bug;
 }
 

@@ -315,4 +315,25 @@ readTraceStream(const std::string &path, LoadedTrace *out,
     }
 }
 
+bool
+readAnyTrace(const std::string &path, LoadedTrace *out, bool *truncated,
+             std::string *error)
+{
+    if (truncated)
+        *truncated = false;
+    char magic[sizeof(traceMagic)] = {};
+    {
+        FileHandle file(std::fopen(path.c_str(), "rb"));
+        if (!file)
+            return fail(error, "cannot open " + path);
+        if (std::fread(magic, sizeof(magic), 1, file.get()) != 1)
+            return fail(error, path + " is not a PMDB trace (too short)");
+    }
+    if (std::memcmp(magic, traceMagic, sizeof(magic)) == 0)
+        return readTraceFile(path, out, error);
+    if (std::memcmp(magic, streamMagic, sizeof(magic)) == 0)
+        return readTraceStream(path, out, truncated, error);
+    return fail(error, path + " is not a PMDB trace (bad magic)");
+}
+
 } // namespace pmdb

@@ -122,6 +122,17 @@ bool readTraceStream(const std::string &path, LoadedTrace *out,
                      bool *truncated = nullptr,
                      std::string *error = nullptr);
 
+/**
+ * Load a trace of either format, dispatching on the file's magic:
+ * "PMDBTRC1" (batch) or "PMDBTRS1" (stream). For stream traces a
+ * truncated tail sets @p truncated exactly as readTraceStream does;
+ * batch traces never set it (a short batch file is a hard error, since
+ * its header promised a count it cannot deliver).
+ */
+bool readAnyTrace(const std::string &path, LoadedTrace *out,
+                  bool *truncated = nullptr,
+                  std::string *error = nullptr);
+
 } // namespace pmdb
 
 #endif // PMDB_TRACE_TRACE_FILE_HH

@@ -1079,6 +1079,23 @@ buildSuite()
         bug_case.pmtestAnnotated = false;
     }
 
+    // Attach the generated expected-fingerprint table (sorted strings,
+    // one row per (case, fingerprint)). Regenerate with
+    // `pmdb_tracetool gen-fingerprints` after any change that moves a
+    // bug's identity.
+    static const std::vector<std::pair<const char *, const char *>>
+        expected_rows = {
+#include "workloads/bug_suite_fingerprints.inc"
+        };
+    for (const auto &[case_name, fingerprint] : expected_rows) {
+        for (BugCase &bug_case : suite) {
+            if (bug_case.name == case_name) {
+                bug_case.expectedFingerprints.emplace_back(fingerprint);
+                break;
+            }
+        }
+    }
+
     return suite;
 }
 

@@ -1,5 +1,6 @@
 #include "workloads/suite_runner.hh"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
@@ -82,6 +83,17 @@ runCase(const BugCase &bug_case, const std::string &detector,
         outcome.falsePositive = tool->bugs().total() > 0;
     }
     return outcome;
+}
+
+std::vector<std::string>
+caseFingerprints(const BugCase &bug_case)
+{
+    auto tool = runVariant(bug_case, "pmdebugger", true);
+    std::vector<std::string> out;
+    for (const BugFingerprint &fp : tool->bugs().fingerprints())
+        out.push_back(fp.toString());
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 SuiteMatrix

@@ -69,6 +69,14 @@ SuiteMatrix runSuite(const std::vector<std::string> &detectors,
 /** Aggregate a matrix into per-detector scores. */
 std::vector<SuiteScore> scoreSuite(const SuiteMatrix &matrix);
 
+/**
+ * Run the buggy variant of @p bug_case under PMDebugger and return the
+ * identities of every reported bug as sorted fingerprint strings —
+ * the values the case table's expectedFingerprints declare and
+ * `pmdb_tracetool gen-fingerprints` regenerates.
+ */
+std::vector<std::string> caseFingerprints(const BugCase &bug_case);
+
 } // namespace pmdb
 
 #endif // PMDB_WORKLOADS_SUITE_RUNNER_HH

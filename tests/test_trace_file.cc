@@ -239,6 +239,62 @@ TEST(TraceStreamTest, RejectsBatchFormatMagic)
     EXPECT_NE(error.find("magic"), std::string::npos);
 }
 
+TEST(TraceAnyTest, DispatchesOnMagicAndReportsTruncation)
+{
+    // Batch trace through the magic-dispatching entry point.
+    PmRuntime runtime;
+    TraceRecorder recorder;
+    runtime.attach(&recorder);
+    runtime.store(0x100, 8);
+    runtime.programEnd();
+    TempPath batch("any_batch.trc");
+    std::string error;
+    ASSERT_TRUE(writeTraceFile(batch.str(), recorder.events(),
+                               runtime.names(), &error));
+    LoadedTrace loaded;
+    bool truncated = true;
+    ASSERT_TRUE(readAnyTrace(batch.str(), &loaded, &truncated, &error))
+        << error;
+    EXPECT_FALSE(truncated);
+    EXPECT_EQ(loaded.events.size(), 2u);
+
+    // Stream trace chopped mid-record: same entry point, truncation
+    // surfaced through the flag.
+    TempPath stream("any_truncated.trs");
+    TraceStreamWriter writer;
+    ASSERT_TRUE(writer.open(stream.str(), &error)) << error;
+    for (int i = 0; i < 5; ++i) {
+        Event event;
+        event.kind = EventKind::Store;
+        event.addr = 0x200 + 8u * static_cast<unsigned>(i);
+        event.size = 8;
+        event.seq = static_cast<SeqNum>(i + 1);
+        ASSERT_TRUE(writer.append(event));
+    }
+    ASSERT_TRUE(writer.close());
+    const auto full = std::filesystem::file_size(stream.str());
+    std::error_code ec;
+    std::filesystem::resize_file(stream.str(), full - 3, ec);
+    ASSERT_FALSE(ec) << ec.message();
+
+    LoadedTrace recovered;
+    truncated = false;
+    ASSERT_TRUE(
+        readAnyTrace(stream.str(), &recovered, &truncated, &error))
+        << error;
+    EXPECT_TRUE(truncated);
+    EXPECT_EQ(recovered.events.size(), 4u);
+
+    // Garbage is rejected, not misparsed.
+    TempPath junk("any_junk.bin");
+    std::FILE *file = std::fopen(junk.str().c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("notatrace!", file);
+    std::fclose(file);
+    EXPECT_FALSE(readAnyTrace(junk.str(), &loaded, nullptr, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
 TEST(PersistenceInspectorTest, PostMortemFindsDurabilityBugs)
 {
     PmRuntime runtime;

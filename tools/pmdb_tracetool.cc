@@ -1,19 +1,29 @@
 /**
  * @file
- * pmdb_trace — record, inspect, characterize and replay instrumented
- * PM traces (the record-once / analyze-many workflow).
+ * pmdb_trace — record, inspect, characterize, replay, minimize and
+ * repair instrumented PM traces (the record-once / analyze-many
+ * workflow).
  *
  * Usage:
  *   pmdb_trace record <workload> <ops> <out.trc> [--fault NAME]
+ *   pmdb_trace record case:<name> <out.trc> [--correct]
  *   pmdb_trace info <file.trc>
  *   pmdb_trace charz <file.trc>          # Section 3 characterization
- *   pmdb_trace replay <file.trc> <checker> [--json]
+ *   pmdb_trace replay <file.trc> <checker> [--json] [--fingerprints]
+ *                     [--case <name>]
  *   pmdb_trace crashsim <file.trc> [--flush-points] [--max-pending K]
  *                       [--max-images N] [--no-epoch-atomic]
+ *   pmdb_trace minimize (case:<name> | <in.trc>) <out.trc>
+ *                       [--case <name>] [--max-replays N]
+ *   pmdb_trace repair   (case:<name> | <in.trc>) <out.trc>
+ *                       [--case <name>]
+ *   pmdb_trace gen-fingerprints [<out.inc>]
  *
- * Exit codes: 0 success, 2 usage error, 3 unknown workload/checker
- * name, 4 unreadable or corrupt trace file (the failing file name is
- * printed to stderr).
+ * Exit codes: 0 success, 2 usage error, 3 unknown workload/checker/case
+ * name, 4 unreadable or corrupt trace file, 5 trace loaded but its
+ * stream tail was truncated (info only; the longest valid prefix was
+ * recovered), 6 no verified repair / target bug not reproduced. The
+ * failing file or name is printed to stderr.
  */
 
 #include <cstdio>
@@ -25,18 +35,25 @@
 #include "core/report.hh"
 #include "crashsim/crash_points.hh"
 #include "detectors/registry.hh"
+#include "repair/case_repair.hh"
+#include "repair/minimize.hh"
+#include "repair/patch.hh"
 #include "trace/recorder.hh"
 #include "trace/trace_file.hh"
+#include "workloads/suite_runner.hh"
 #include "workloads/workload.hh"
 
 namespace
 {
 
 // Exit codes: distinct failures get distinct codes so scripts (and the
-// CI smoke steps) can tell a typo'd name from a damaged trace file.
+// CI smoke steps) can tell a typo'd name from a damaged trace file from
+// a torn stream tail from a failed repair.
 constexpr int exitUsage = 2;
 constexpr int exitUnknownName = 3;
 constexpr int exitBadTrace = 4;
+constexpr int exitTruncatedTrace = 5;
+constexpr int exitNoRepair = 6;
 
 int
 usage(const char *argv0)
@@ -44,32 +61,123 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s record <workload> <ops> <out.trc> [--fault NAME]\n"
+        "       %s record case:<name> <out.trc> [--correct]\n"
         "       %s info <file.trc>\n"
         "       %s charz <file.trc>\n"
-        "       %s replay <file.trc> <checker> [--json]\n"
+        "       %s replay <file.trc> <checker> [--json] "
+        "[--fingerprints] [--case <name>]\n"
         "       %s crashsim <file.trc> [--flush-points] "
         "[--max-pending K]\n"
-        "                [--max-images N] [--no-epoch-atomic]\n",
-        argv0, argv0, argv0, argv0, argv0);
+        "                [--max-images N] [--no-epoch-atomic]\n"
+        "       %s minimize (case:<name> | <in.trc>) <out.trc> "
+        "[--case <name>]\n"
+        "                [--max-replays N]\n"
+        "       %s repair (case:<name> | <in.trc>) <out.trc> "
+        "[--case <name>]\n"
+        "       %s gen-fingerprints [<out.inc>]\n",
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return exitUsage;
 }
 
-/** Load a trace or fail with exitBadTrace, naming the file. */
+/**
+ * Load a trace of either format or fail with exitBadTrace, naming the
+ * file. A recovered-but-truncated stream is usable (the longest valid
+ * prefix), so it loads with a warning; `info` surfaces the flag and its
+ * own exit code.
+ */
 bool
-loadTrace(const char *path, pmdb::LoadedTrace *trace)
+loadTrace(const char *path, pmdb::LoadedTrace *trace,
+          bool *truncated = nullptr)
 {
     std::string error;
-    if (!pmdb::readTraceFile(path, trace, &error)) {
+    bool torn = false;
+    if (!pmdb::readAnyTrace(path, trace, &torn, &error)) {
         std::fprintf(stderr, "%s: %s\n", path, error.c_str());
         return false;
     }
+    if (torn && !truncated) {
+        std::fprintf(stderr,
+                     "%s: warning: stream trace truncated mid-record; "
+                     "using the recovered prefix (%zu events)\n",
+                     path, trace->events.size());
+    }
+    if (truncated)
+        *truncated = torn;
     return true;
+}
+
+/**
+ * Resolve the (trace, case) pair for minimize/repair: either
+ * `case:<name>` (record the suite case in-process) or a trace file
+ * plus `--case <name>` for the detector configuration and target.
+ * Returns 0 on success, else the exit code.
+ */
+int
+resolveSource(const char *argv0, const std::string &source,
+              const std::string &case_name, pmdb::LoadedTrace *trace,
+              const pmdb::BugCase **bug_case)
+{
+    using namespace pmdb;
+    if (source.rfind("case:", 0) == 0) {
+        const std::string name = source.substr(5);
+        *bug_case = findBugCase(name);
+        if (!*bug_case) {
+            std::fprintf(stderr, "unknown bug-suite case '%s'\n",
+                         name.c_str());
+            return exitUnknownName;
+        }
+        *trace = recordCaseTrace(**bug_case);
+        return 0;
+    }
+    if (case_name.empty()) {
+        std::fprintf(stderr,
+                     "a trace-file source needs --case <name> for the "
+                     "detector configuration\n");
+        return usage(argv0);
+    }
+    *bug_case = findBugCase(case_name);
+    if (!*bug_case) {
+        std::fprintf(stderr, "unknown bug-suite case '%s'\n",
+                     case_name.c_str());
+        return exitUnknownName;
+    }
+    if (!loadTrace(source.c_str(), trace))
+        return exitBadTrace;
+    return 0;
 }
 
 int
 cmdRecord(int argc, char **argv)
 {
     using namespace pmdb;
+    if (argc < 4)
+        return usage(argv[0]);
+
+    const std::string source = argv[2];
+    if (source.rfind("case:", 0) == 0) {
+        const BugCase *bug_case = findBugCase(source.substr(5));
+        if (!bug_case) {
+            std::fprintf(stderr, "unknown bug-suite case '%s'\n",
+                         source.substr(5).c_str());
+            return exitUnknownName;
+        }
+        bool buggy = true;
+        for (int i = 4; i < argc; ++i) {
+            if (std::string(argv[i]) == "--correct")
+                buggy = false;
+        }
+        const LoadedTrace trace = recordCaseTrace(*bug_case, buggy);
+        std::string error;
+        if (!writeTraceFile(argv[3], trace.events, trace.names, &error)) {
+            std::fprintf(stderr, "%s: %s\n", argv[3], error.c_str());
+            return exitBadTrace;
+        }
+        std::printf("recorded %zu events from case %s (%s) -> %s\n",
+                    trace.events.size(), bug_case->name.c_str(),
+                    buggy ? "buggy" : "correct", argv[3]);
+        return 0;
+    }
+
     if (argc < 5)
         return usage(argv[0]);
     auto workload = makeWorkload(argv[2]);
@@ -107,7 +215,8 @@ cmdInfo(int argc, char **argv)
     if (argc < 3)
         return usage(argv[0]);
     LoadedTrace trace;
-    if (!loadTrace(argv[2], &trace))
+    bool truncated = false;
+    if (!loadTrace(argv[2], &trace, &truncated))
         return exitBadTrace;
     std::uint64_t counts[16] = {};
     for (const Event &event : trace.events)
@@ -120,6 +229,14 @@ cmdInfo(int argc, char **argv)
                         toString(static_cast<EventKind>(k)),
                         static_cast<unsigned long long>(counts[k]));
         }
+    }
+    std::printf("  truncated      %s\n", truncated ? "yes" : "no");
+    if (truncated) {
+        std::fprintf(stderr,
+                     "%s: stream trace truncated mid-record; the "
+                     "counts above cover the recovered prefix\n",
+                     argv[2]);
+        return exitTruncatedTrace;
     }
     return 0;
 }
@@ -147,7 +264,32 @@ cmdReplay(int argc, char **argv)
     LoadedTrace trace;
     if (!loadTrace(argv[2], &trace))
         return exitBadTrace;
-    auto detector = makeDetector(argv[3], {});
+
+    bool json = false;
+    bool fingerprints = false;
+    DebuggerConfig config;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--fingerprints") {
+            fingerprints = true;
+        } else if (arg == "--case" && i + 1 < argc) {
+            // Replay under the detector configuration the suite would
+            // drive this case with (model + order spec) — required for
+            // the ordering rules to see anything.
+            const BugCase *bug_case = findBugCase(argv[++i]);
+            if (!bug_case) {
+                std::fprintf(stderr, "unknown case '%s'\n", argv[i]);
+                return exitUnknownName;
+            }
+            config = debuggerConfigFor(*bug_case);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    auto detector = makeDetector(argv[3], config);
     if (!detector) {
         std::fprintf(stderr, "unknown checker '%s'\n", argv[3]);
         return exitUnknownName;
@@ -157,11 +299,14 @@ cmdReplay(int argc, char **argv)
     replayer.replay(*detector);
     detector->finalize();
 
-    const bool json = argc > 4 && std::string(argv[4]) == "--json";
-    if (json)
+    if (fingerprints) {
+        for (const BugFingerprint &fp : detector->bugs().fingerprints())
+            std::printf("%s\n", fp.toString().c_str());
+    } else if (json) {
         std::printf("%s\n", reportToJson(detector->bugs()).c_str());
-    else
+    } else {
         std::printf("%s", detector->bugs().summary().c_str());
+    }
     return 0;
 }
 
@@ -203,6 +348,157 @@ cmdCrashsim(int argc, char **argv)
     return 0;
 }
 
+int
+cmdMinimize(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 4)
+        return usage(argv[0]);
+    std::string case_name;
+    MinimizeOptions options;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--case" && i + 1 < argc) {
+            case_name = argv[++i];
+        } else if (arg == "--max-replays" && i + 1 < argc) {
+            options.maxReplays = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    LoadedTrace trace;
+    const BugCase *bug_case = nullptr;
+    if (const int rc = resolveSource(argv[0], argv[2], case_name, &trace,
+                                     &bug_case)) {
+        return rc;
+    }
+
+    BugFingerprint target;
+    if (!caseTarget(*bug_case, trace, &target)) {
+        std::fprintf(stderr,
+                     "case %s: expected bug does not reproduce on this "
+                     "trace (cross-failure bugs need live verifiers)\n",
+                     bug_case->name.c_str());
+        return exitNoRepair;
+    }
+
+    const MinimizeResult result = minimizeWitness(
+        trace, target, debuggerConfigFor(*bug_case), options);
+    if (!result.reproduced) {
+        std::fprintf(stderr, "target %s not reproduced on full trace\n",
+                     target.toString().c_str());
+        return exitNoRepair;
+    }
+
+    std::string error;
+    if (!writeTraceFile(argv[3], result.events, trace.names, &error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[3], error.c_str());
+        return exitBadTrace;
+    }
+    std::printf("target     %s\n", target.toString().c_str());
+    std::printf("minimized  %zu -> %zu events (%.1fx), %llu replays "
+                "(%llu cached) -> %s\n",
+                result.stats.originalEvents,
+                result.stats.minimizedEvents,
+                result.stats.shrinkFactor(),
+                static_cast<unsigned long long>(result.stats.replays),
+                static_cast<unsigned long long>(result.stats.cacheHits),
+                argv[3]);
+    return 0;
+}
+
+int
+cmdRepair(int argc, char **argv)
+{
+    using namespace pmdb;
+    if (argc < 4)
+        return usage(argv[0]);
+    std::string case_name;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--case" && i + 1 < argc) {
+            case_name = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    LoadedTrace trace;
+    const BugCase *bug_case = nullptr;
+    if (const int rc = resolveSource(argv[0], argv[2], case_name, &trace,
+                                     &bug_case)) {
+        return rc;
+    }
+
+    BugFingerprint target;
+    if (!caseTarget(*bug_case, trace, &target)) {
+        std::fprintf(stderr,
+                     "case %s: expected bug does not reproduce on this "
+                     "trace (cross-failure bugs need live verifiers)\n",
+                     bug_case->name.c_str());
+        return exitNoRepair;
+    }
+
+    const RepairResult result =
+        repairTrace(trace, target, debuggerConfigFor(*bug_case));
+    std::printf("target     %s\n", target.toString().c_str());
+    if (!result.verified) {
+        std::fprintf(stderr,
+                     "no verified repair for %s (%zu candidates, %llu "
+                     "replays)\n",
+                     target.toString().c_str(), result.candidatesTried,
+                     static_cast<unsigned long long>(result.replays));
+        return exitNoRepair;
+    }
+
+    std::string error;
+    if (!writeTraceFile(argv[3], result.patchedEvents, trace.names,
+                        &error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[3], error.c_str());
+        return exitBadTrace;
+    }
+    for (const std::string &line : result.advisory)
+        std::printf("advisory   %s\n", line.c_str());
+    std::printf("repaired   %zu edits verified in %zu candidates, %llu "
+                "replays -> %s\n",
+                result.patch.edits.size(), result.candidatesTried,
+                static_cast<unsigned long long>(result.replays),
+                argv[3]);
+    return 0;
+}
+
+int
+cmdGenFingerprints(int argc, char **argv)
+{
+    using namespace pmdb;
+    std::FILE *out = stdout;
+    if (argc > 2) {
+        out = std::fopen(argv[2], "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         argv[2]);
+            return exitBadTrace;
+        }
+    }
+    std::fprintf(out,
+                 "// Expected PMDebugger bug fingerprints per suite "
+                 "case.\n"
+                 "// Generated by `pmdb_tracetool gen-fingerprints`; "
+                 "do not edit by hand.\n");
+    for (const BugCase &bug_case : bugSuite()) {
+        for (const std::string &fp : caseFingerprints(bug_case)) {
+            std::fprintf(out, "{\"%s\", \"%s\"},\n",
+                         bug_case.name.c_str(), fp.c_str());
+        }
+    }
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -221,5 +517,11 @@ main(int argc, char **argv)
         return cmdReplay(argc, argv);
     if (command == "crashsim")
         return cmdCrashsim(argc, argv);
+    if (command == "minimize")
+        return cmdMinimize(argc, argv);
+    if (command == "repair")
+        return cmdRepair(argc, argv);
+    if (command == "gen-fingerprints")
+        return cmdGenFingerprints(argc, argv);
     return usage(argv[0]);
 }
