@@ -1,9 +1,11 @@
 /**
  * @file
  * Detection-service benchmark: (a) shard scaling of the address-range
- * sharded detector pool on a synthetic store-heavy stream, and (b)
- * aggregate ingestion throughput with 1/2/4 concurrent RemoteSink
- * clients streaming into an in-process ServiceDaemon.
+ * sharded detector pool on a synthetic store-heavy stream, and (b) an
+ * ingestion sweep — 1/2/4/8 concurrent RemoteSink clients x 1/4
+ * detector shards streaming into an in-process ServiceDaemon — that
+ * reports aggregate events/s plus per-client fairness (min/max client
+ * rate).
  *
  * Why shard scaling pays even on a single core: the synthetic stream
  * flushes every line individually, so each CLF closes a CLF interval
@@ -24,6 +26,7 @@
  */
 
 #include <cstdio>
+#include <sstream>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -131,13 +134,19 @@ timedShardRun(std::size_t shards, const std::vector<Event> &events,
     return runShardPool(shards, events);
 }
 
+struct OneClient
+{
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+};
+
 /**
  * One ingestion client: connects a RemoteSink (Block policy) to the
  * daemon and pushes a flush+fence-punctuated store stream over a small
  * working set, so the measurement is ring + control-plane transport
  * cost, not detector bookkeeping.
  */
-std::uint64_t
+OneClient
 runClient(const std::string &socket_path, int client,
           std::size_t store_count)
 {
@@ -152,6 +161,7 @@ runClient(const std::string &socket_path, int client,
         fatal("service_bench: connect failed: " + error);
 
     SeqNum seq = 1;
+    Stopwatch watch;
     auto send = [&](EventKind kind, Addr addr, std::uint32_t size) {
         Event event;
         event.kind = kind;
@@ -173,7 +183,10 @@ runClient(const std::string &socket_path, int client,
     ReportBody report;
     if (!sink.finish(&report, &error))
         fatal("service_bench: finish failed: " + error);
-    return report.eventsProcessed;
+    OneClient result;
+    result.events = report.eventsProcessed;
+    result.seconds = watch.elapsedSeconds();
+    return result;
 }
 
 struct ClientRun
@@ -181,6 +194,9 @@ struct ClientRun
     double seconds = 0.0;
     double eventsPerSec = 0.0;
     std::uint64_t events = 0;
+    /** Slowest / fastest single-client rate (fairness spread). */
+    double minClientRate = 0.0;
+    double maxClientRate = 0.0;
 };
 
 /** Aggregate throughput of @p clients concurrent sessions. */
@@ -189,12 +205,11 @@ runClients(const std::string &socket_path, int clients,
            std::size_t stores_per_client)
 {
     std::vector<std::thread> threads;
-    std::vector<std::uint64_t> processed(
-        static_cast<std::size_t>(clients), 0);
+    std::vector<OneClient> per(static_cast<std::size_t>(clients));
     Stopwatch watch;
     for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
-            processed[static_cast<std::size_t>(c)] =
+            per[static_cast<std::size_t>(c)] =
                 runClient(socket_path, c, stores_per_client);
         });
     }
@@ -202,10 +217,62 @@ runClients(const std::string &socket_path, int clients,
         thread.join();
     ClientRun run;
     run.seconds = watch.elapsedSeconds();
-    for (std::uint64_t n : processed)
-        run.events += n;
+    for (const OneClient &client : per) {
+        run.events += client.events;
+        const double rate =
+            client.seconds > 0.0
+                ? static_cast<double>(client.events) / client.seconds
+                : 0.0;
+        if (run.minClientRate == 0.0 || rate < run.minClientRate)
+            run.minClientRate = rate;
+        if (rate > run.maxClientRate)
+            run.maxClientRate = rate;
+    }
     run.eventsPerSec = static_cast<double>(run.events) / run.seconds;
     return run;
+}
+
+/** One ingest-sweep measurement point. */
+struct SweepPoint
+{
+    std::size_t shards = 0;
+    int clients = 0;
+    ClientRun run;
+};
+
+/**
+ * The ingestion sweep: for each shard count, one daemon serves
+ * 1/2/4/8-client groups back to back. Two pollers multiplex all
+ * rings; detector workers scale with the shard count.
+ */
+std::vector<SweepPoint>
+runIngestSweep(std::size_t stores_per_client)
+{
+    std::vector<SweepPoint> points;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        ServiceConfig config;
+        config.socketPath = "/tmp/pmdb_bench." +
+                            std::to_string(::getpid()) + ".s" +
+                            std::to_string(shards) + ".sock";
+        config.pool.shards = shards;
+        config.pollers = 2;
+        ServiceDaemon daemon(config);
+        std::string error;
+        if (!daemon.start(&error))
+            fatal("service_bench: daemon start failed: " + error);
+        runClients(config.socketPath, 1,
+                   std::max<std::size_t>(64, stores_per_client / 4));
+        for (const int clients : {1, 2, 4, 8}) {
+            SweepPoint point;
+            point.shards = shards;
+            point.clients = clients;
+            point.run = runClients(config.socketPath, clients,
+                                   stores_per_client);
+            points.push_back(point);
+        }
+        daemon.stop();
+    }
+    return points;
 }
 
 int
@@ -264,62 +331,106 @@ benchMain()
                     "scale\n");
     }
 
-    // --- multi-client ingestion ---------------------------------------
-    ServiceConfig config;
-    config.socketPath =
-        "/tmp/pmdb_bench." + std::to_string(::getpid()) + ".sock";
-    config.pool.shards = 2;
-    ServiceDaemon daemon(config);
-    std::string error;
-    if (!daemon.start(&error))
-        fatal("service_bench: daemon start failed: " + error);
-
+    // --- multi-client ingestion sweep ---------------------------------
     const std::size_t stores = scaled(200000);
-    runClients(config.socketPath, 1,
-               std::max<std::size_t>(64, stores / 4)); // warm-up
-    const ClientRun c1 = runClients(config.socketPath, 1, stores);
-    const ClientRun c2 = runClients(config.socketPath, 2, stores);
-    const ClientRun c4 = runClients(config.socketPath, 4, stores);
-    daemon.stop();
+    const std::vector<SweepPoint> sweep = runIngestSweep(stores);
+
+    // Aggregate rate of the 1-client group at each shard count, the
+    // scaling baseline for that shard count's rows.
+    const auto baseRate = [&](std::size_t shards) {
+        for (const SweepPoint &point : sweep) {
+            if (point.shards == shards && point.clients == 1)
+                return point.run.eventsPerSec;
+        }
+        return 0.0;
+    };
 
     TextTable client_table;
-    client_table.setHeader(
-        {"clients", "events", "seconds", "aggregate events/s"});
-    const auto addClientRow = [&](int n, const ClientRun &run) {
+    client_table.setHeader({"shards", "clients", "events", "seconds",
+                            "aggregate events/s", "vs 1 client",
+                            "client min", "client max"});
+    for (const SweepPoint &point : sweep) {
+        const double base = baseRate(point.shards);
         client_table.addRow(
-            {std::to_string(n), fmtCount(run.events),
-             fmtDouble(run.seconds, 3),
-             fmtCount(static_cast<std::uint64_t>(run.eventsPerSec))});
+            {std::to_string(point.shards),
+             std::to_string(point.clients),
+             fmtCount(point.run.events),
+             fmtDouble(point.run.seconds, 3),
+             fmtCount(
+                 static_cast<std::uint64_t>(point.run.eventsPerSec)),
+             fmtFactor(base > 0.0 ? point.run.eventsPerSec / base
+                                  : 0.0,
+                       2),
+             fmtCount(static_cast<std::uint64_t>(
+                 point.run.minClientRate)),
+             fmtCount(static_cast<std::uint64_t>(
+                 point.run.maxClientRate))});
+    }
+    std::printf("--- ingestion sweep: concurrent RemoteSink clients "
+                "-> pmdbd (2 pollers, block policy) ---\n%s\n",
+                client_table.render().c_str());
+    const auto ratioAt = [&](std::size_t shards, int clients) {
+        const double base = baseRate(shards);
+        for (const SweepPoint &point : sweep) {
+            if (point.shards == shards && point.clients == clients)
+                return base > 0.0 ? point.run.eventsPerSec / base
+                                  : 0.0;
+        }
+        return 0.0;
     };
-    addClientRow(1, c1);
-    addClientRow(2, c2);
-    addClientRow(4, c4);
-    std::printf("--- ingestion: concurrent RemoteSink clients -> "
-                "pmdbd (%zu shards, block policy) ---\n%s\n",
-                config.pool.shards, client_table.render().c_str());
+    std::printf("4-client aggregate vs 1-client: %.2fx at 1 shard, "
+                "%.2fx at 4 shards (%u core%s visible)\n",
+                ratioAt(1, 4), ratioAt(4, 4), cores,
+                cores == 1 ? "" : "s");
+    if (cores < 4) {
+        std::printf("note: multi-client scaling is core-bound; the "
+                    ">=4x aggregate target needs >=4 cores (this "
+                    "host pins every thread to %u)\n", cores);
+    }
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof(json),
-        "{\"bench\": \"service\", \"cores\": %u, "
-        "\"shard_stream_events\": %zu, "
-        "\"events_per_sec_shard1\": %.0f, "
-        "\"events_per_sec_shard2\": %.0f, "
-        "\"events_per_sec_shard4\": %.0f, "
-        "\"shard_speedup_4x1\": %.3f, "
-        "\"shard_speedup_2x1\": %.3f, "
-        "\"ingest_events_per_sec_1client\": %.0f, "
-        "\"ingest_events_per_sec_2clients\": %.0f, "
-        "\"ingest_events_per_sec_4clients\": %.0f, "
-        "\"results_identical\": %s}",
-        cores, stream.size(), s1.eventsPerSec, s2.eventsPerSec,
-        s4.eventsPerSec, shard_speedup, s1.seconds / s2.seconds,
-        c1.eventsPerSec, c2.eventsPerSec, c4.eventsPerSec,
-        identical ? "true" : "false");
+    std::ostringstream json;
+    json << "{\"bench\": \"service\", \"cores\": " << cores
+         << ", \"shard_stream_events\": " << stream.size()
+         << ", \"events_per_sec_shard1\": "
+         << fmtDouble(s1.eventsPerSec, 0)
+         << ", \"events_per_sec_shard2\": "
+         << fmtDouble(s2.eventsPerSec, 0)
+         << ", \"events_per_sec_shard4\": "
+         << fmtDouble(s4.eventsPerSec, 0)
+         << ", \"shard_speedup_4x1\": "
+         << fmtDouble(shard_speedup, 3)
+         << ", \"shard_speedup_2x1\": "
+         << fmtDouble(s1.seconds / s2.seconds, 3)
+         << ", \"ingest_stores_per_client\": " << stores
+         << ", \"ingest\": [";
+    bool first = true;
+    for (const SweepPoint &point : sweep) {
+        if (!first)
+            json << ", ";
+        first = false;
+        json << "{\"shards\": " << point.shards
+             << ", \"clients\": " << point.clients
+             << ", \"events\": " << point.run.events
+             << ", \"seconds\": " << fmtDouble(point.run.seconds, 3)
+             << ", \"events_per_sec\": "
+             << fmtDouble(point.run.eventsPerSec, 0)
+             << ", \"vs_1_client\": "
+             << fmtDouble(ratioAt(point.shards, point.clients), 3)
+             << ", \"client_min_events_per_sec\": "
+             << fmtDouble(point.run.minClientRate, 0)
+             << ", \"client_max_events_per_sec\": "
+             << fmtDouble(point.run.maxClientRate, 0) << "}";
+    }
+    json << "], \"ingest_ratio_4v1_shard1\": "
+         << fmtDouble(ratioAt(1, 4), 3)
+         << ", \"ingest_ratio_4v1_shard4\": "
+         << fmtDouble(ratioAt(4, 4), 3)
+         << ", \"results_identical\": "
+         << (identical ? "true" : "false") << "}";
 
-    std::printf("\n%s\n", json);
+    std::printf("\n%s\n", json.str().c_str());
     if (std::FILE *f = std::fopen("BENCH_service.json", "w")) {
-        std::fprintf(f, "%s\n", json);
+        std::fprintf(f, "%s\n", json.str().c_str());
         std::fclose(f);
     }
 

@@ -1,0 +1,65 @@
+#include "service/cpu_pin.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pmdb
+{
+
+std::size_t
+availableCores()
+{
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (::sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        const int count = CPU_COUNT(&mask);
+        if (count > 0)
+            return static_cast<std::size_t>(count);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+bool
+pinThreadToCore(std::thread &thread, std::size_t core)
+{
+#if defined(__linux__)
+    // Pin to the (core % n)-th *allowed* core, so pinning composes
+    // with container affinity masks that do not start at CPU 0.
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0)
+        return false;
+    const int count = CPU_COUNT(&allowed);
+    if (count <= 0)
+        return false;
+    std::size_t rank = core % static_cast<std::size_t>(count);
+    int target = -1;
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+        if (!CPU_ISSET(cpu, &allowed))
+            continue;
+        if (rank == 0) {
+            target = cpu;
+            break;
+        }
+        --rank;
+    }
+    if (target < 0)
+        return false;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(target, &one);
+    return ::pthread_setaffinity_np(thread.native_handle(),
+                                    sizeof(one), &one) == 0;
+#else
+    (void)thread;
+    (void)core;
+    return false;
+#endif
+}
+
+} // namespace pmdb

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Optional CPU affinity for service threads (`--pin-cores`).
+ *
+ * Pinning pollers and shard workers to distinct cores removes
+ * scheduler migrations from the ingest hot path and keeps each
+ * shard's detector bookkeeping warm in one core's cache. It is an
+ * opt-in tuning knob: the default (unpinned) behavior is correct
+ * everywhere, and pinning is a no-op on hosts with a single core or
+ * without pthread affinity support.
+ */
+
+#ifndef PMDB_SERVICE_CPU_PIN_HH
+#define PMDB_SERVICE_CPU_PIN_HH
+
+#include <cstddef>
+#include <thread>
+
+namespace pmdb
+{
+
+/** Cores visible to this process (affinity-mask aware; >= 1). */
+std::size_t availableCores();
+
+/**
+ * Pin @p thread to core `core % availableCores()`. Returns true on
+ * success; false (harmless) where unsupported.
+ */
+bool pinThreadToCore(std::thread &thread, std::size_t core);
+
+} // namespace pmdb
+
+#endif // PMDB_SERVICE_CPU_PIN_HH

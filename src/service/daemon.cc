@@ -1,5 +1,6 @@
 #include "service/daemon.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -11,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "core/report.hh"
+#include "service/cpu_pin.hh"
 #include "service/spsc_ring.hh"
 #include "service/transport.hh"
 #include "trace/trace_file.hh"
@@ -21,20 +23,84 @@ namespace pmdb
 namespace
 {
 
-/** Ring events popped per routing batch. */
-constexpr std::size_t popBatch = 512;
-
-/** Idle backoff: keeps a 1-CPU box responsive without busy-spinning. */
-void
-idlePause()
+/**
+ * Normalize the daemon config and derive the pool's pinning layout:
+ * pollers occupy cores [0, pollers), shard workers follow.
+ */
+ShardPoolConfig
+poolConfigFor(ServiceConfig &config)
 {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    if (config.pollers == 0)
+        config.pollers = 1;
+    if (config.drainEvents == 0)
+        config.drainEvents = 4096;
+    ShardPoolConfig pool = config.pool;
+    pool.pinCores = config.pinCores;
+    pool.pinBase = config.pollers;
+    return pool;
+}
+
+/**
+ * Adaptive idle backoff for a poller: yield while recently busy so a
+ * burst resumes within a scheduler quantum, then escalate to sleeps
+ * doubling up to 256 us so an idle daemon costs ~no CPU.
+ */
+void
+idleBackoff(int idleRounds)
+{
+    constexpr int spinRounds = 64;
+    if (idleRounds <= spinRounds) {
+        std::this_thread::yield();
+        return;
+    }
+    const int shift = std::min(idleRounds - spinRounds, 8);
+    std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
 }
 
 } // namespace
 
+/** One client connection, owned by its poller. */
+struct ServiceDaemon::ActiveSession
+{
+    enum class Phase
+    {
+        Handshake, ///< Accepted; waiting for the Hello.
+        Streaming, ///< Ring + control plane live.
+        Closing    ///< Async close issued; callback pending.
+    };
+
+    int fd = -1;
+    Phase phase = Phase::Handshake;
+    SessionId id = 0;
+    HelloBody hello;
+    EventRing ring;
+    ByeBody bye;
+    bool sawBye = false;
+    std::vector<BugReport> external;
+    /** Routed events awaiting queue space (backpressure). */
+    PendingRoute pending;
+    /** Drain buffer; sized once at handshake. */
+    std::vector<Event> scratch;
+    SessionSummary summary;
+    std::chrono::steady_clock::time_point started{};
+    /** Set when the session is fully finished (poller may prune). */
+    std::atomic<bool> done{false};
+};
+
+/** A poller thread plus the sessions assigned to it. */
+struct ServiceDaemon::Poller
+{
+    std::size_t index = 0;
+    std::thread thread;
+    /** Guards sessions (accept thread appends, poller prunes). */
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ActiveSession>> sessions;
+    std::atomic<std::uint64_t> polls{0};
+    std::atomic<std::uint64_t> idlePolls{0};
+};
+
 ServiceDaemon::ServiceDaemon(ServiceConfig config)
-    : config_(std::move(config)), pool_(config_.pool)
+    : config_(std::move(config)), pool_(poolConfigFor(config_))
 {
 }
 
@@ -53,6 +119,16 @@ ServiceDaemon::start(std::string *error)
         return false;
     stopping_.store(false);
     pool_.start();
+    pollers_.clear();
+    for (std::size_t i = 0; i < config_.pollers; ++i) {
+        auto poller = std::make_unique<Poller>();
+        poller->index = i;
+        poller->thread =
+            std::thread([this, p = poller.get()] { pollerLoop(*p); });
+        if (config_.pinCores)
+            pinThreadToCore(poller->thread, i);
+        pollers_.push_back(std::move(poller));
+    }
     acceptThread_ = std::thread([this] { acceptLoop(); });
     running_ = true;
     return true;
@@ -66,13 +142,18 @@ ServiceDaemon::stop()
     stopping_.store(true);
     if (acceptThread_.joinable())
         acceptThread_.join();
+    for (auto &poller : pollers_) {
+        if (poller->thread.joinable())
+            poller->thread.join();
+    }
+    // Pollers issued an async close for every surviving session on
+    // the way out; let the shard workers finish those before the pool
+    // goes down. (Poller structs stay alive so counters remain
+    // readable after stop.)
     {
-        std::lock_guard<std::mutex> lock(sessionThreadsMutex_);
-        for (std::thread &thread : sessionThreads_) {
-            if (thread.joinable())
-                thread.join();
-        }
-        sessionThreads_.clear();
+        std::unique_lock<std::mutex> lock(closesMutex_);
+        closesDone_.wait(
+            lock, [this] { return outstandingCloses_.load() == 0; });
     }
     pool_.stop();
     if (listenFd_ >= 0) {
@@ -110,16 +191,43 @@ ServiceDaemon::summaries() const
     return summaries_;
 }
 
+IngestStats
+ServiceDaemon::ingestStats() const
+{
+    IngestStats stats;
+    for (const auto &poller : pollers_) {
+        stats.polls += poller->polls.load();
+        stats.idlePolls += poller->idlePolls.load();
+    }
+    return stats;
+}
+
 std::string
 ServiceDaemon::aggregatedJson() const
 {
     const std::vector<SessionSummary> sessions = summaries();
+    const IngestStats ingest = ingestStats();
     std::ostringstream out;
     out << "{\"shards\": " << pool_.shardCount()
         << ", \"stripe_bytes\": " << pool_.stripeBytes()
         << ", \"straddles\": " << pool_.straddleCount()
-        << ", \"sessions\": [";
+        << ", \"pollers\": " << config_.pollers
+        << ", \"polls\": " << ingest.polls
+        << ", \"idle_polls\": " << ingest.idlePolls
+        << ", \"idle_poll_ratio\": " << ingest.idleRatio()
+        << ", \"steals\": " << pool_.stealCount()
+        << ", \"shard_stats\": [";
     bool first = true;
+    for (const ShardStats &shard : pool_.shardStats()) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << "{\"batches\": " << shard.batches
+            << ", \"events\": " << shard.events
+            << ", \"steals\": " << shard.steals << "}";
+    }
+    out << "], \"sessions\": [";
+    first = true;
     for (const SessionSummary &session : sessions) {
         if (!first)
             out << ", ";
@@ -127,11 +235,19 @@ ServiceDaemon::aggregatedJson() const
         BugCollector bugs;
         for (const BugReport &bug : session.verdict.bugs)
             bugs.report(bug);
+        const double rate =
+            session.seconds > 0.0
+                ? static_cast<double>(session.eventsProcessed) /
+                      session.seconds
+                : 0.0;
         out << "{\"id\": " << session.id
             << ", \"events\": " << session.eventsProcessed
             << ", \"dropped\": " << session.eventsDropped
             << ", \"spill_replayed\": " << session.spillReplayed
-            << ", \"aborted\": "
+            << ", \"batches_drained\": " << session.batchesDrained
+            << ", \"queue_full_stalls\": " << session.queueFullStalls
+            << ", \"seconds\": " << session.seconds
+            << ", \"events_per_sec\": " << rate << ", \"aborted\": "
             << (session.aborted ? "true" : "false") << ", \"report\": "
             << reportToJson(bugs, session.verdict.stats) << "}";
     }
@@ -150,186 +266,290 @@ ServiceDaemon::acceptLoop()
             continue;
         // Backstop against a client wedged mid-message: blocking
         // recvs on this socket give up after a while instead of
-        // pinning the session thread (and stop()'s join) forever.
+        // pinning a poller (and stop()'s join) forever.
         timeval recvTimeout{};
         recvTimeout.tv_sec = 5;
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recvTimeout,
                      sizeof(recvTimeout));
-        std::lock_guard<std::mutex> lock(sessionThreadsMutex_);
-        sessionThreads_.emplace_back(
-            [this, fd] { serveSession(fd); });
+        auto session = std::make_shared<ActiveSession>();
+        session->fd = fd;
+        Poller &poller =
+            *pollers_[nextPoller_.fetch_add(1) % pollers_.size()];
+        std::lock_guard<std::mutex> lock(poller.mutex);
+        poller.sessions.push_back(std::move(session));
     }
 }
 
 void
-ServiceDaemon::serveSession(int fd)
+ServiceDaemon::pollerLoop(Poller &poller)
 {
-    SessionSummary summary;
-    MsgType type;
-    std::vector<std::uint8_t> payload;
-    HelloBody hello;
-    // A client may connect and never speak; wait for the Hello with
-    // the stop flag in the loop so stop() is never stuck joining a
-    // thread that is blocked in recv on a silent socket.
-    bool helloReady = false;
+    std::vector<std::shared_ptr<ActiveSession>> snapshot;
+    int idleRounds = 0;
     while (!stopping_.load()) {
-        if (readable(fd, 200)) {
-            helloReady = true;
+        snapshot.clear();
+        {
+            std::lock_guard<std::mutex> lock(poller.mutex);
+            snapshot = poller.sessions;
+        }
+        bool progressed = false;
+        for (const auto &session : snapshot) {
+            if (session->done.load() ||
+                session->phase == ActiveSession::Phase::Closing)
+                continue;
+            if (pollSession(session))
+                progressed = true;
+        }
+        {
+            std::lock_guard<std::mutex> lock(poller.mutex);
+            auto &sessions = poller.sessions;
+            sessions.erase(
+                std::remove_if(sessions.begin(), sessions.end(),
+                               [](const auto &session) {
+                                   return session->done.load();
+                               }),
+                sessions.end());
+        }
+        poller.polls.fetch_add(1, std::memory_order_relaxed);
+        if (progressed) {
+            idleRounds = 0;
+            continue;
+        }
+        poller.idlePolls.fetch_add(1, std::memory_order_relaxed);
+        idleBackoff(++idleRounds);
+    }
+    // Stopping: abort whatever is still live. Sessions already in
+    // Closing settle through their pending callback.
+    std::vector<std::shared_ptr<ActiveSession>> leftover;
+    {
+        std::lock_guard<std::mutex> lock(poller.mutex);
+        leftover.swap(poller.sessions);
+    }
+    for (const auto &session : leftover) {
+        if (session->done.load())
+            continue;
+        switch (session->phase) {
+          case ActiveSession::Phase::Handshake:
+            ::close(session->fd);
+            session->fd = -1;
+            session->done.store(true);
+            break;
+          case ActiveSession::Phase::Streaming:
+            beginClose(session, /*aborted=*/true);
+            break;
+          case ActiveSession::Phase::Closing:
             break;
         }
     }
-    if (!helloReady || !recvMessage(fd, &type, &payload) ||
-        type != MsgType::Hello ||
-        !HelloBody::deserialize(payload, &hello)) {
-        ::close(fd);
-        return;
-    }
+}
 
-    EventRing ring;
+bool
+ServiceDaemon::finishHandshake(ActiveSession &session)
+{
+    // A client may connect and never speak; poll instead of blocking
+    // so one silent socket cannot stall the whole poller.
+    if (!readable(session.fd, 0))
+        return false;
+    MsgType type;
+    std::vector<std::uint8_t> payload;
+    if (!recvMessage(session.fd, &type, &payload) ||
+        type != MsgType::Hello ||
+        !HelloBody::deserialize(payload, &session.hello)) {
+        ::close(session.fd);
+        session.fd = -1;
+        session.done.store(true);
+        return true;
+    }
     std::string error;
-    if (!ring.open(hello.ringPath, &error)) {
+    if (!session.ring.open(session.hello.ringPath, &error)) {
         WireWriter out;
         out.putString(error);
-        sendMessage(fd, MsgType::Error, out.bytes());
-        ::close(fd);
-        return;
+        sendMessage(session.fd, MsgType::Error, out.bytes());
+        ::close(session.fd);
+        session.fd = -1;
+        session.done.store(true);
+        return true;
     }
-
-    const SessionId session = nextSession_.fetch_add(1);
-    summary.id = session;
+    session.id = nextSession_.fetch_add(1);
+    session.summary.id = session.id;
 
     DebuggerConfig config;
-    config.model = hello.model;
+    config.model = session.hello.model;
     config.arrayCapacity = config_.pool.arrayCapacity;
     config.mergeThreshold = config_.pool.mergeThreshold;
-    if (!hello.orderSpecText.empty())
-        config.orderSpec = OrderSpec::fromText(hello.orderSpecText);
+    if (!session.hello.orderSpecText.empty())
+        config.orderSpec =
+            OrderSpec::fromText(session.hello.orderSpecText);
     // Global-order rules cannot be checked against a partitioned
     // stream; pin such sessions to one shard (a degenerate barrier).
-    const bool pinned = hello.model == PersistencyModel::Strand ||
-                        !hello.orderSpecText.empty();
-    pool_.openSession(session, config, pinned);
+    const bool pinned =
+        session.hello.model == PersistencyModel::Strand ||
+        !session.hello.orderSpecText.empty();
+    pool_.openSession(session.id, config, pinned);
 
-    {
-        WireWriter out;
-        out.put(static_cast<std::uint32_t>(session));
-        sendMessage(fd, MsgType::Welcome, out.bytes());
+    WireWriter out;
+    out.put(static_cast<std::uint32_t>(session.id));
+    sendMessage(session.fd, MsgType::Welcome, out.bytes());
+
+    session.scratch.resize(config_.drainEvents);
+    session.started = std::chrono::steady_clock::now();
+    session.phase = ActiveSession::Phase::Streaming;
+    return true;
+}
+
+bool
+ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
+{
+    ActiveSession &session = *sp;
+    if (session.phase == ActiveSession::Phase::Handshake)
+        return finishHandshake(session);
+
+    bool progressed = false;
+
+    // 1. Control plane: names, client-side bug reports, Bye.
+    while (!session.sawBye && readable(session.fd, 0)) {
+        MsgType type;
+        std::vector<std::uint8_t> payload;
+        if (!recvMessage(session.fd, &type, &payload)) {
+            beginClose(sp, /*aborted=*/true);
+            return true;
+        }
+        progressed = true;
+        switch (type) {
+          case MsgType::InternName: {
+            WireReader in(payload);
+            const auto id = in.get<std::uint32_t>();
+            pool_.internName(session.id, id, in.getString());
+            WireWriter ack;
+            ack.put(id);
+            sendMessage(session.fd, MsgType::NameAck, ack.bytes());
+            break;
+          }
+          case MsgType::ReportBug: {
+            WireReader in(payload);
+            session.external.push_back(getBugReport(in));
+            break;
+          }
+          case MsgType::Bye:
+            if (!ByeBody::deserialize(payload, &session.bye)) {
+                // A truncated Bye would silently zero the spill
+                // accounting and drop the spilled tail from the
+                // report; treat the session as aborted instead.
+                warn("service: malformed Bye; aborting session " +
+                     std::to_string(session.id));
+                beginClose(sp, /*aborted=*/true);
+                return true;
+            }
+            session.sawBye = true;
+            break;
+          default:
+            break;
+        }
     }
 
-    std::vector<BugReport> external;
-    std::vector<Event> buffer(popBatch);
-    bool sawBye = false;
-    bool clientAlive = true;
-    ByeBody bye;
-
-    while (clientAlive && !sawBye) {
-        bool progressed = false;
-        if (readable(fd, 0)) {
-            if (!recvMessage(fd, &type, &payload)) {
-                clientAlive = false;
-                break;
-            }
+    // 2. Backlog first: events refused by a full queue must reach the
+    // pool before anything newer, or per-shard order breaks.
+    if (!session.pending.empty()) {
+        if (pool_.tryFlushPending(session.id, &session.pending))
             progressed = true;
-            switch (type) {
-              case MsgType::InternName: {
-                WireReader in(payload);
-                const auto id = in.get<std::uint32_t>();
-                pool_.internName(session, id, in.getString());
-                WireWriter ack;
-                ack.put(id);
-                sendMessage(fd, MsgType::NameAck, ack.bytes());
-                break;
-              }
-              case MsgType::ReportBug: {
-                WireReader in(payload);
-                external.push_back(getBugReport(in));
-                break;
-              }
-              case MsgType::Bye:
-                if (!ByeBody::deserialize(payload, &bye)) {
-                    // A truncated Bye would silently zero the spill
-                    // accounting and drop the spilled tail from the
-                    // report; treat the session as aborted instead.
-                    warn("service: malformed Bye; aborting session " +
-                         std::to_string(session));
-                    clientAlive = false;
-                    break;
-                }
-                sawBye = true;
-                break;
-              default:
-                break;
-            }
-        }
-        const std::size_t popped =
-            ring.tryPop(buffer.data(), buffer.size());
+        else
+            ++session.summary.queueFullStalls;
+    }
+
+    // 3. Ring drain, in whole published frames.
+    if (session.pending.empty()) {
+        const std::size_t popped = session.ring.popBatch(
+            session.scratch.data(), session.scratch.size());
         if (popped) {
-            pool_.routeEvents(session, buffer.data(), popped);
-            summary.eventsProcessed += popped;
             progressed = true;
-        }
-        if (!progressed) {
-            if (stopping_.load()) {
-                clientAlive = false;
-                break;
-            }
-            idlePause();
+            ++session.summary.batchesDrained;
+            session.summary.eventsProcessed += popped;
+            if (!pool_.tryRouteEvents(session.id,
+                                      session.scratch.data(), popped,
+                                      &session.pending))
+                ++session.summary.queueFullStalls;
         }
     }
 
-    if (sawBye) {
-        // Drain whatever the producer pushed before its Bye.
-        for (;;) {
-            const std::size_t popped =
-                ring.tryPop(buffer.data(), buffer.size());
-            if (!popped)
-                break;
-            pool_.routeEvents(session, buffer.data(), popped);
-            summary.eventsProcessed += popped;
-        }
+    // 4. End of stream: Bye seen and everything routed.
+    if (session.sawBye && session.pending.empty() &&
+        session.ring.size() == 0) {
         // Under the Spill policy the tail of the stream sits in the
         // spill trace file, in order; replay it after the ring.
-        if (bye.spillEvents && !hello.spillPath.empty()) {
+        if (session.bye.spillEvents &&
+            !session.hello.spillPath.empty()) {
             LoadedTrace spill;
             bool truncated = false;
-            if (readTraceStream(hello.spillPath, &spill, &truncated,
-                                &error)) {
+            std::string error;
+            if (readTraceStream(session.hello.spillPath, &spill,
+                                &truncated, &error)) {
                 if (truncated) {
-                    warn("service: spill trace " + hello.spillPath +
+                    warn("service: spill trace " +
+                         session.hello.spillPath +
                          " has a truncated tail");
                 }
-                pool_.routeEvents(session, spill.events.data(),
+                pool_.routeEvents(session.id, spill.events.data(),
                                   spill.events.size());
-                summary.spillReplayed = spill.events.size();
-                summary.eventsProcessed += spill.events.size();
+                session.summary.spillReplayed = spill.events.size();
+                session.summary.eventsProcessed +=
+                    spill.events.size();
             } else {
                 warn("service: cannot replay spill trace: " + error);
             }
         }
+        beginClose(sp, /*aborted=*/false);
+        return true;
     }
+    return progressed;
+}
 
-    summary.eventsDropped = ring.droppedCount();
-    summary.verdict = pool_.closeSession(session, external);
-    summary.aborted = !sawBye;
-
-    if (sawBye) {
-        BugCollector bugs;
-        for (const BugReport &bug : summary.verdict.bugs)
-            bugs.report(bug);
-        ReportBody report;
-        report.bugs = summary.verdict.bugs;
-        report.eventsProcessed = summary.eventsProcessed;
-        report.eventsDropped = summary.eventsDropped;
-        report.json = reportToJson(bugs, summary.verdict.stats);
-        sendMessage(fd, MsgType::Report, report.serialize());
-    }
-    ::close(fd);
-
-    {
-        std::lock_guard<std::mutex> lock(summariesMutex_);
-        summaries_.push_back(std::move(summary));
-    }
-    sessionDone_.notify_all();
+void
+ServiceDaemon::beginClose(const std::shared_ptr<ActiveSession> &sp,
+                          bool aborted)
+{
+    ActiveSession &session = *sp;
+    session.phase = ActiveSession::Phase::Closing;
+    session.summary.eventsDropped = session.ring.droppedCount();
+    session.summary.aborted = aborted;
+    outstandingCloses_.fetch_add(1);
+    // The callback runs on the shard worker that finalizes the last
+    // (session, shard) queue — off the poller, so a slow report send
+    // never stalls ingestion for other sessions.
+    pool_.closeSessionAsync(
+        session.id, std::move(session.external),
+        [this, sp](SessionVerdict &&verdict) {
+            ActiveSession &session = *sp;
+            session.summary.verdict = std::move(verdict);
+            session.summary.seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - session.started)
+                    .count();
+            if (!session.summary.aborted) {
+                BugCollector bugs;
+                for (const BugReport &bug : session.summary.verdict.bugs)
+                    bugs.report(bug);
+                ReportBody report;
+                report.bugs = session.summary.verdict.bugs;
+                report.eventsProcessed = session.summary.eventsProcessed;
+                report.eventsDropped = session.summary.eventsDropped;
+                report.json =
+                    reportToJson(bugs, session.summary.verdict.stats);
+                sendMessage(session.fd, MsgType::Report,
+                            report.serialize());
+            }
+            ::close(session.fd);
+            session.fd = -1;
+            {
+                std::lock_guard<std::mutex> lock(summariesMutex_);
+                summaries_.push_back(session.summary);
+            }
+            sessionDone_.notify_all();
+            session.done.store(true);
+            {
+                std::lock_guard<std::mutex> lock(closesMutex_);
+                outstandingCloses_.fetch_sub(1);
+            }
+            closesDone_.notify_all();
+        });
 }
 
 } // namespace pmdb

@@ -3,10 +3,21 @@
  * The detection-service daemon (pmdbd): accepts trace streams from
  * multiple concurrent clients over per-client shared-memory event
  * rings plus a Unix-domain-socket control plane, feeds them through
- * an address-sharded pool of detector workers, and replies to each
- * client with its merged bug report. Embeddable: tests and the bench
- * run a ServiceDaemon on a thread inside the same process; the pmdbd
- * tool wraps one in a main().
+ * a work-stealing pool of detector workers, and replies to each
+ * client with its merged bug report.
+ *
+ * Ingest path (the PR-6 rework): instead of one reader thread per
+ * session, a fixed pool of **poller** threads multiplexes every
+ * client ring. Each poller sweeps the sessions assigned to it —
+ * pending control messages, then a whole-frame ring drain, then
+ * routing into the shard pool's bounded per-(session,shard) queues —
+ * with adaptive spin→sleep backoff when a full sweep makes no
+ * progress. Thread count is therefore fixed by configuration
+ * (pollers + shard workers), not by client count, so concurrent
+ * sessions compound instead of contending.
+ *
+ * Embeddable: tests and the bench run a ServiceDaemon on a thread
+ * inside the same process; the pmdbd tool wraps one in a main().
  */
 
 #ifndef PMDB_SERVICE_DAEMON_HH
@@ -34,6 +45,15 @@ struct ServiceConfig
     std::string socketPath;
     /** Detector shard-pool shape. */
     ShardPoolConfig pool;
+    /** Poller threads multiplexing the client rings. */
+    std::size_t pollers = 1;
+    /** Events drained from a ring per poll (>= one batch frame). */
+    std::size_t drainEvents = 4096;
+    /**
+     * Pin pollers and shard workers round-robin to distinct cores
+     * (pollers first, then workers). Opt-in: `pmdbd --pin-cores`.
+     */
+    bool pinCores = false;
 };
 
 /** Per-session attribution kept by the aggregated collector. */
@@ -45,8 +65,30 @@ struct SessionSummary
     std::uint64_t eventsProcessed = 0;
     std::uint64_t eventsDropped = 0;
     std::uint64_t spillReplayed = 0;
+    /** Ring frames drained by the poller. */
+    std::uint64_t batchesDrained = 0;
+    /** Polls that found a full (session,shard) queue (backpressure). */
+    std::uint64_t queueFullStalls = 0;
+    /** Welcome-to-report wall time. */
+    double seconds = 0.0;
     /** Client vanished before Bye; no report was sent. */
     bool aborted = false;
+};
+
+/** Daemon-level ingest counters (observability). */
+struct IngestStats
+{
+    /** Poller sweeps over the session set. */
+    std::uint64_t polls = 0;
+    /** Sweeps that made no progress (idle). */
+    std::uint64_t idlePolls = 0;
+    /** idlePolls / polls; 0 when no polls have run. */
+    double idleRatio() const
+    {
+        return polls ? static_cast<double>(idlePolls) /
+                           static_cast<double>(polls)
+                     : 0.0;
+    }
 };
 
 /** The out-of-process detection daemon. */
@@ -59,10 +101,10 @@ class ServiceDaemon
     ServiceDaemon(const ServiceDaemon &) = delete;
     ServiceDaemon &operator=(const ServiceDaemon &) = delete;
 
-    /** Bind the socket, start the shard pool and the accept loop. */
+    /** Bind the socket, start the shard pool and the poller pool. */
     bool start(std::string *error = nullptr);
 
-    /** Stop accepting, join session handlers and workers. */
+    /** Stop accepting, drain sessions, join pollers and workers. */
     void stop();
 
     /**
@@ -77,27 +119,50 @@ class ServiceDaemon
     /** Snapshot of per-session summaries (completed sessions only). */
     std::vector<SessionSummary> summaries() const;
 
+    /** Daemon-level poll counters. */
+    IngestStats ingestStats() const;
+
+    /** Per-shard execution counters (batches, events, steals). */
+    std::vector<ShardStats> shardStats() const
+    {
+        return pool_.shardStats();
+    }
+
     /**
      * Aggregated JSON across all completed sessions: per-session bug
-     * reports with attribution, plus daemon-level counters.
+     * reports with attribution and ingest counters, plus daemon-level
+     * poller and shard counters.
      */
     std::string aggregatedJson() const;
 
     const std::string &socketPath() const { return config_.socketPath; }
 
   private:
+    struct ActiveSession;
+    struct Poller;
+
     void acceptLoop();
-    void serveSession(int fd);
+    void pollerLoop(Poller &poller);
+    /** One sweep step for one session; true when progress was made. */
+    bool pollSession(const std::shared_ptr<ActiveSession> &session);
+    bool finishHandshake(ActiveSession &session);
+    void beginClose(const std::shared_ptr<ActiveSession> &session,
+                    bool aborted);
 
     ServiceConfig config_;
     ShardPool pool_;
     int listenFd_ = -1;
     std::thread acceptThread_;
-    std::vector<std::thread> sessionThreads_;
-    std::mutex sessionThreadsMutex_;
+    std::vector<std::unique_ptr<Poller>> pollers_;
+    std::atomic<std::size_t> nextPoller_{0};
 
     std::atomic<bool> stopping_{false};
     std::atomic<SessionId> nextSession_{1};
+
+    /** Sessions whose async close has not completed yet. */
+    std::atomic<std::size_t> outstandingCloses_{0};
+    std::mutex closesMutex_;
+    std::condition_variable closesDone_;
 
     mutable std::mutex summariesMutex_;
     std::condition_variable sessionDone_;

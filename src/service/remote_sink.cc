@@ -1,5 +1,6 @@
 #include "service/remote_sink.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -71,9 +72,12 @@ RemoteSink::connect(const Options &options, std::string *error)
     WireReader in(payload);
     session_ = in.get<std::uint32_t>();
     namesSent_ = 0;
-    pushed_ = spilled_ = dropped_ = 0;
+    pushed_ = spilled_ = dropped_ = frames_ = 0;
     spilling_ = false;
     dead_ = false;
+    batch_.setCapacity(std::min<std::uint32_t>(
+        std::max<std::uint32_t>(options_.batchEvents, 1),
+        options_.ringSlots));
     return true;
 }
 
@@ -90,6 +94,8 @@ RemoteSink::ensureNamesSent(std::uint32_t name_id)
         std::vector<std::uint8_t> payload;
         // Wait for the ack: the daemon has handed the name to its
         // shards, so the event referencing it may now enter the ring.
+        // Events already batched do not reference this name (it was
+        // interned after them), so they may legally cross later.
         if (!sendMessage(fd_, MsgType::InternName, out.bytes()) ||
             !recvMessage(fd_, &type, &payload) ||
             type != MsgType::NameAck) {
@@ -100,53 +106,91 @@ RemoteSink::ensureNamesSent(std::uint32_t name_id)
     return true;
 }
 
+/** Publish the accumulated batch as ring frames, applying the
+ *  slow-consumer policy to whatever does not fit. */
 void
-RemoteSink::push(const Event &event)
+RemoteSink::flushBatch()
 {
+    const Event *events = batch_.data();
+    std::size_t remaining = batch_.size();
+    if (!remaining)
+        return;
     if (spilling_) {
-        if (spill_.append(event))
-            ++spilled_;
+        for (std::size_t i = 0; i < remaining; ++i) {
+            if (spill_.append(events[i]))
+                ++spilled_;
+        }
+        batch_.clear();
         return;
     }
-    if (ring_.tryPush(event)) {
-        ++pushed_;
-        return;
-    }
-    switch (options_.policy) {
-      case SlowConsumerPolicy::Block: {
-        // Out of credits: yield until the consumer frees a slot. The
-        // sleep matters on a single-CPU box, where pure spinning would
-        // starve the very consumer being waited on. A full ring that
-        // never drains means the daemon is gone, so probe the control
-        // socket every ~10ms and cut the stream rather than hang the
-        // instrumented application forever.
-        int sleeps = 0;
-        while (!ring_.tryPush(event)) {
-            std::this_thread::sleep_for(std::chrono::microseconds(50));
-            if (++sleeps >= 200) {
-                sleeps = 0;
-                if (peerClosed(fd_)) {
-                    dead_ = true;
-                    warn("service client: daemon vanished while "
-                         "blocked on a full ring; stream cut");
-                    return;
+
+    std::size_t accepted = ring_.tryPushBatch(events, remaining);
+    if (accepted)
+        ++frames_;
+    pushed_ += accepted;
+    events += accepted;
+    remaining -= accepted;
+
+    if (remaining) {
+        switch (options_.policy) {
+          case SlowConsumerPolicy::Block: {
+            // Out of credits: yield until the consumer frees slots.
+            // The sleep matters on a single-CPU box, where pure
+            // spinning would starve the very consumer being waited
+            // on. A full ring that never drains means the daemon is
+            // gone, so probe the control socket every ~10ms and cut
+            // the stream rather than hang the instrumented
+            // application forever.
+            int sleeps = 0;
+            while (remaining) {
+                accepted = ring_.tryPushBatch(events, remaining);
+                if (accepted) {
+                    ++frames_;
+                    pushed_ += accepted;
+                    events += accepted;
+                    remaining -= accepted;
+                    sleeps = 0;
+                    continue;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+                if (++sleeps >= 200) {
+                    sleeps = 0;
+                    if (peerClosed(fd_)) {
+                        dead_ = true;
+                        warn("service client: daemon vanished while "
+                             "blocked on a full ring; stream cut");
+                        batch_.clear();
+                        return;
+                    }
                 }
             }
+            break;
+          }
+          case SlowConsumerPolicy::Drop:
+            for (std::size_t i = 0; i < remaining; ++i)
+                ring_.countDrop();
+            dropped_ += remaining;
+            break;
+          case SlowConsumerPolicy::Spill:
+            spilling_ = true;
+            spill_.flush();
+            for (std::size_t i = 0; i < remaining; ++i) {
+                if (spill_.append(events[i]))
+                    ++spilled_;
+            }
+            break;
         }
-        ++pushed_;
-        break;
-      }
-      case SlowConsumerPolicy::Drop:
-        ring_.countDrop();
-        ++dropped_;
-        break;
-      case SlowConsumerPolicy::Spill:
-        spilling_ = true;
-        spill_.flush();
-        if (spill_.append(event))
-            ++spilled_;
-        break;
     }
+    batch_.clear();
+}
+
+void
+RemoteSink::append(const Event &event)
+{
+    batch_.push(event);
+    if (batch_.full())
+        flushBatch();
 }
 
 void
@@ -160,7 +204,23 @@ RemoteSink::handle(const Event &event)
         warn("service client: control plane failed; stream cut");
         return;
     }
-    push(event);
+    append(event);
+}
+
+void
+RemoteSink::handleBatch(const Event *events, std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_ || fd_ < 0)
+        return;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!ensureNamesSent(events[i].nameId)) {
+            dead_ = true;
+            warn("service client: control plane failed; stream cut");
+            return;
+        }
+        append(events[i]);
+    }
 }
 
 void
@@ -181,6 +241,8 @@ RemoteSink::finish(ReportBody *out, std::string *error)
     std::lock_guard<std::mutex> lock(mutex_);
     if (fd_ < 0)
         return fail(error, "not connected");
+    if (!dead_)
+        flushBatch(); // the tail of the stream is still client-side
     if (dead_) {
         disconnect();
         return fail(error, "session died mid-stream");

@@ -4,11 +4,13 @@
  * instrumented event stream to a pmdbd daemon instead of running a
  * detector in-process.
  *
- * Attach a RemoteSink to a PmRuntime like any detector; events flow
- * through the shared-memory ring (spsc_ring.hh) with the configured
- * slow-consumer policy, names and externally detected bugs go over
- * the control socket, and finish() completes the session and returns
- * the daemon's merged report.
+ * Attach a RemoteSink to a PmRuntime like any detector; events
+ * accumulate in a client-side EventBatch (the PR-1 batch machinery)
+ * and cross the shared-memory ring (spsc_ring.hh) as whole batch
+ * frames with the configured slow-consumer policy. Names and
+ * externally detected bugs go over the control socket, and finish()
+ * flushes the pending batch, completes the session and returns the
+ * daemon's merged report.
  */
 
 #ifndef PMDB_SERVICE_REMOTE_SINK_HH
@@ -21,6 +23,7 @@
 #include "core/bug.hh"
 #include "service/protocol.hh"
 #include "service/spsc_ring.hh"
+#include "trace/batch.hh"
 #include "trace/sink.hh"
 #include "trace/trace_file.hh"
 
@@ -39,6 +42,13 @@ class RemoteSink : public TraceSink
         std::string ringPath;
         /** Ring capacity in events — the producer's credits. */
         std::uint32_t ringSlots = 4096;
+        /**
+         * Client-side accumulation batch: events are published into
+         * the ring in frames of up to this many events, so the shared
+         * cursors are touched once per frame instead of once per
+         * event. Clamped to the ring capacity.
+         */
+        std::uint32_t batchEvents = defaultBatchCapacity;
         SlowConsumerPolicy policy = SlowConsumerPolicy::Block;
         /** Spill trace path (required for the Spill policy). */
         std::string spillPath;
@@ -66,6 +76,7 @@ class RemoteSink : public TraceSink
     /** @{ */
     void attached(const NameTable &names) override { names_ = &names; }
     void handle(const Event &event) override;
+    void handleBatch(const Event *events, std::size_t count) override;
 
     /**
      * The sink reads the runtime's live NameTable while interning
@@ -82,21 +93,26 @@ class RemoteSink : public TraceSink
     void reportBug(const BugReport &report);
 
     /**
-     * Mark the stream complete, send Bye and block for the daemon's
-     * report. The sink is disconnected afterwards.
+     * Flush the pending batch, mark the stream complete, send Bye and
+     * block for the daemon's report. The sink is disconnected
+     * afterwards.
      */
     bool finish(ReportBody *out, std::string *error = nullptr);
 
     std::uint64_t ringEvents() const { return pushed_; }
     std::uint64_t spillEvents() const { return spilled_; }
     std::uint64_t droppedEvents() const { return dropped_; }
+    /** Batch frames published into the ring. */
+    std::uint64_t ringFrames() const { return frames_; }
 
   private:
     bool ensureNamesSent(std::uint32_t name_id);
-    void push(const Event &event);
+    void append(const Event &event);
+    void flushBatch();
     void disconnect();
 
     EventRing ring_;
+    EventBatch batch_{defaultBatchCapacity};
     TraceStreamWriter spill_;
     Options options_;
     const NameTable *names_ = nullptr;
@@ -106,6 +122,7 @@ class RemoteSink : public TraceSink
     std::uint64_t pushed_ = 0;
     std::uint64_t spilled_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t frames_ = 0;
     /** Once spilling starts, everything spills (order preservation). */
     bool spilling_ = false;
     bool dead_ = false;

@@ -1,9 +1,13 @@
 #include "service/shard.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
 
 #include "common/logging.hh"
 #include "core/order_spec.hh"
+#include "service/cpu_pin.hh"
 
 namespace pmdb
 {
@@ -49,14 +53,17 @@ mergeStats(DebuggerStats *total, const DebuggerStats &part)
 
 } // namespace
 
-/** Rendezvous for closeSession: shards deposit results and count down. */
-struct ShardPool::CloseBarrier
+/** Rendezvous for closeSession: shards deposit results into their own
+ *  slot; the last one to finish merges and runs the completion. */
+struct ShardPool::CloseState
 {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = 0;
+    std::atomic<std::size_t> remaining{0};
     std::vector<std::vector<BugReport>> bugs;
     std::vector<DebuggerStats> stats;
+    std::vector<BugReport> external;
+    SessionId session = 0;
+    std::size_t home = 0;
+    std::function<void(SessionVerdict &&)> done;
 };
 
 struct ShardPool::Task
@@ -70,7 +77,6 @@ struct ShardPool::Task
     };
 
     Kind kind = Kind::Events;
-    SessionId session = 0;
     /** Open */
     DebuggerConfig config;
     /** Name */
@@ -79,25 +85,35 @@ struct ShardPool::Task
     /** Events */
     std::vector<Event> events;
     /** Close */
-    CloseBarrier *barrier = nullptr;
+    std::shared_ptr<CloseState> close;
 };
 
-struct ShardPool::Worker
+/**
+ * One (session, shard) pair: its FIFO task queue plus the detector
+ * state any leasing worker drives. The queue/lease fields are guarded
+ * by the pool's queuesMutex_; the detector state is touched only by
+ * the worker holding the lease.
+ */
+struct ShardPool::SessionShard
 {
-    /** Per-(session, shard) detector state. Heap-allocated so the
-     *  NameTable address handed to PmDebugger::attached stays stable. */
-    struct Session
-    {
-        NameTable names;
-        std::unique_ptr<PmDebugger> debugger;
-    };
+    SessionId session = 0;
+    std::size_t shard = 0;
 
-    std::thread thread;
-    std::mutex mutex;
-    std::condition_variable wake;
+    /** @name guarded by queuesMutex_ */
+    /** @{ */
     std::deque<Task> queue;
-    bool stopping = false;
-    std::unordered_map<SessionId, std::unique_ptr<Session>> sessions;
+    /** Queued Events tasks (the bounded part of the queue). */
+    std::size_t eventsTasks = 0;
+    bool leased = false;
+    bool ready = false;
+    bool closed = false;
+    /** @} */
+
+    /** @name leased-worker state (heap-stable NameTable address). */
+    /** @{ */
+    NameTable names;
+    std::unique_ptr<PmDebugger> debugger;
+    /** @} */
 };
 
 ShardPool::ShardPool(ShardPoolConfig config)
@@ -107,8 +123,11 @@ ShardPool::ShardPool(ShardPoolConfig config)
         config_.shards = 1;
     if (!config_.stripeBytes)
         config_.stripeBytes = 64ull << 20;
+    if (!config_.queueCapacity)
+        config_.queueCapacity = 1;
+    ready_.resize(config_.shards);
     for (std::size_t i = 0; i < config_.shards; ++i)
-        workers_.push_back(std::make_unique<Worker>());
+        counters_.push_back(std::make_unique<Counters>());
 }
 
 ShardPool::~ShardPool()
@@ -122,11 +141,13 @@ ShardPool::start()
     if (running_)
         return;
     running_ = true;
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-        Worker &worker = *workers_[i];
-        worker.stopping = false;
-        worker.thread =
-            std::thread([this, &worker, i] { workerLoop(worker, i); });
+    stopping_ = false;
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+        workers_.emplace_back([this, i] { workerLoop(i); });
+        if (config_.pinCores) {
+            pinThreadToCore(workers_.back(),
+                            config_.pinBase + i);
+        }
     }
 }
 
@@ -135,18 +156,17 @@ ShardPool::stop()
 {
     if (!running_)
         return;
+    {
+        std::lock_guard<std::mutex> lock(queuesMutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
     running_ = false;
-    for (auto &worker : workers_) {
-        {
-            std::lock_guard<std::mutex> lock(worker->mutex);
-            worker->stopping = true;
-        }
-        worker->wake.notify_all();
-    }
-    for (auto &worker : workers_) {
-        if (worker->thread.joinable())
-            worker->thread.join();
-    }
 }
 
 std::size_t
@@ -163,15 +183,32 @@ ShardPool::shardOf(SessionId session, Addr addr) const
                                     config_.shards);
 }
 
-void
-ShardPool::enqueue(std::size_t shard, Task task)
+ShardPool::SessionShard *
+ShardPool::queueOf(SessionId session, std::size_t shard)
 {
-    Worker &worker = *workers_[shard];
-    {
-        std::lock_guard<std::mutex> lock(worker.mutex);
-        worker.queue.push_back(std::move(task));
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(session) * config_.shards + shard;
+    const auto it = queues_.find(key);
+    return it == queues_.end() ? nullptr : it->second.get();
+}
+
+void
+ShardPool::markReadyLocked(SessionShard &queue)
+{
+    if (!queue.ready && !queue.leased && !queue.queue.empty()) {
+        queue.ready = true;
+        ready_[queue.shard].push_back(&queue);
+        wake_.notify_one();
     }
-    worker.wake.notify_one();
+}
+
+void
+ShardPool::enqueueLocked(SessionShard &queue, Task task)
+{
+    if (task.kind == Task::Kind::Events)
+        ++queue.eventsTasks;
+    queue.queue.push_back(std::move(task));
+    markReadyLocked(queue);
 }
 
 void
@@ -183,17 +220,24 @@ ShardPool::openSession(SessionId session, const DebuggerConfig &config,
         pinned_[session] = pinned;
     }
     const std::size_t home = homeShard(session);
-    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+    std::lock_guard<std::mutex> lock(queuesMutex_);
+    for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(session) * config_.shards +
+            shard;
+        auto entry = std::make_unique<SessionShard>();
+        entry->session = session;
+        entry->shard = shard;
         Task task;
         task.kind = Task::Kind::Open;
-        task.session = session;
         task.config = config;
         // Context-only rules fire on broadcast boundaries alone, so
         // every shard would report the same bug; keep them on the home
         // shard only to preserve single-detector report identity.
         if (shard != home)
             task.config.detectRedundantEpochFence = false;
-        enqueue(shard, std::move(task));
+        enqueueLocked(*entry, std::move(task));
+        queues_[key] = std::move(entry);
     }
 }
 
@@ -201,19 +245,22 @@ void
 ShardPool::internName(SessionId session, std::uint32_t nameId,
                       std::string name)
 {
-    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+    std::lock_guard<std::mutex> lock(queuesMutex_);
+    for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+        SessionShard *queue = queueOf(session, shard);
+        if (!queue)
+            continue;
         Task task;
         task.kind = Task::Kind::Name;
-        task.session = session;
         task.nameId = nameId;
         task.name = name;
-        enqueue(shard, std::move(task));
+        enqueueLocked(*queue, std::move(task));
     }
 }
 
-void
-ShardPool::routeEvents(SessionId session, const Event *events,
-                       std::size_t count)
+bool
+ShardPool::tryRouteEvents(SessionId session, const Event *events,
+                          std::size_t count, PendingRoute *overflow)
 {
     bool pinned = false;
     {
@@ -224,7 +271,7 @@ ShardPool::routeEvents(SessionId session, const Event *events,
 
     // Partition into per-shard subsequences. Relative order within a
     // shard matches stream order because events are appended in order.
-    std::vector<std::vector<Event>> parts(workers_.size());
+    std::vector<std::vector<Event>> parts(config_.shards);
     for (std::size_t i = 0; i < count; ++i) {
         const Event &event = events[i];
         if (pinned) {
@@ -241,14 +288,119 @@ ShardPool::routeEvents(SessionId session, const Event *events,
                 part.push_back(event);
         }
     }
+
+    std::lock_guard<std::mutex> lock(queuesMutex_);
     for (std::size_t shard = 0; shard < parts.size(); ++shard) {
         if (parts[shard].empty())
             continue;
+        SessionShard *queue = queueOf(session, shard);
+        if (!queue || queue->closed)
+            continue;
+        if (queue->eventsTasks >= config_.queueCapacity) {
+            if (overflow) {
+                overflow->parts.emplace_back(
+                    shard, std::move(parts[shard]));
+            }
+            continue;
+        }
         Task task;
         task.kind = Task::Kind::Events;
-        task.session = session;
         task.events = std::move(parts[shard]);
-        enqueue(shard, std::move(task));
+        enqueueLocked(*queue, std::move(task));
+    }
+    return !overflow || overflow->empty();
+}
+
+bool
+ShardPool::tryFlushPending(SessionId session, PendingRoute *overflow)
+{
+    if (!overflow || overflow->empty())
+        return true;
+    std::lock_guard<std::mutex> lock(queuesMutex_);
+    auto &parts = overflow->parts;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        SessionShard *queue = queueOf(session, parts[i].first);
+        if (queue && !queue->closed &&
+            queue->eventsTasks >= config_.queueCapacity) {
+            // Still blocked: compact in place. Guard the self-move —
+            // moving a vector onto itself leaves it empty.
+            if (kept != i)
+                parts[kept] = std::move(parts[i]);
+            ++kept;
+            continue;
+        }
+        if (queue && !queue->closed) {
+            Task task;
+            task.kind = Task::Kind::Events;
+            task.events = std::move(parts[i].second);
+            enqueueLocked(*queue, std::move(task));
+        }
+    }
+    parts.resize(kept);
+    return parts.empty();
+}
+
+void
+ShardPool::routeEvents(SessionId session, const Event *events,
+                       std::size_t count)
+{
+    PendingRoute overflow;
+    if (tryRouteEvents(session, events, count, &overflow))
+        return;
+    // Backpressure: the workers are behind. Yield first so they get
+    // the core on a 1-CPU host, then back off gently.
+    int spins = 0;
+    while (!tryFlushPending(session, &overflow)) {
+        if (++spins < 16) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+}
+
+void
+ShardPool::closeSessionAsync(
+    SessionId session, std::vector<BugReport> external,
+    std::function<void(SessionVerdict &&)> done)
+{
+    {
+        std::lock_guard<std::mutex> lock(pinnedMutex_);
+        pinned_.erase(session);
+    }
+    auto close = std::make_shared<CloseState>();
+    close->remaining.store(config_.shards, std::memory_order_relaxed);
+    close->bugs.resize(config_.shards);
+    close->stats.resize(config_.shards);
+    close->external = std::move(external);
+    close->session = session;
+    close->home = homeShard(session);
+    close->done = std::move(done);
+
+    std::size_t missing = 0;
+    {
+        std::lock_guard<std::mutex> lock(queuesMutex_);
+        for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+            SessionShard *queue = queueOf(session, shard);
+            if (!queue) {
+                ++missing; // unknown shard: counts as already done
+                continue;
+            }
+            Task task;
+            task.kind = Task::Kind::Close;
+            task.close = close;
+            enqueueLocked(*queue, std::move(task));
+        }
+    }
+    // Settle missing shards outside the pool lock — if every shard was
+    // missing, the completion runs right here on the caller's thread.
+    if (missing &&
+        close->remaining.fetch_sub(missing,
+                                   std::memory_order_acq_rel) ==
+            missing) {
+        mergeAndFinish(*close);
     }
 }
 
@@ -256,41 +408,32 @@ SessionVerdict
 ShardPool::closeSession(SessionId session,
                         const std::vector<BugReport> &external)
 {
-    CloseBarrier barrier;
-    barrier.remaining = workers_.size();
-    barrier.bugs.resize(workers_.size());
-    barrier.stats.resize(workers_.size());
-    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
-        Task task;
-        task.kind = Task::Kind::Close;
-        task.session = session;
-        task.barrier = &barrier;
-        enqueue(shard, std::move(task));
-    }
-    {
-        std::unique_lock<std::mutex> lock(barrier.mutex);
-        barrier.done.wait(lock, [&] { return barrier.remaining == 0; });
-    }
-    {
-        std::lock_guard<std::mutex> lock(pinnedMutex_);
-        pinned_.erase(session);
-    }
+    std::promise<SessionVerdict> promise;
+    std::future<SessionVerdict> future = promise.get_future();
+    closeSessionAsync(session, external,
+                      [&promise](SessionVerdict &&verdict) {
+                          promise.set_value(std::move(verdict));
+                      });
+    return future.get();
+}
 
+void
+ShardPool::mergeAndFinish(CloseState &close)
+{
     // Merge: home shard first so that, at equal seq, its chronological
     // ordering wins; client-reported external bugs come last at equal
     // seq (in-process detection reports at an event before a manual
     // cross-failure check stamped with the same sequence number).
     std::vector<BugReport> merged;
-    const std::size_t home = homeShard(session);
-    for (const BugReport &bug : barrier.bugs[home])
+    for (const BugReport &bug : close.bugs[close.home])
         merged.push_back(bug);
-    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
-        if (shard == home)
+    for (std::size_t shard = 0; shard < close.bugs.size(); ++shard) {
+        if (shard == close.home)
             continue;
-        for (const BugReport &bug : barrier.bugs[shard])
+        for (const BugReport &bug : close.bugs[shard])
             merged.push_back(bug);
     }
-    for (const BugReport &bug : external)
+    for (const BugReport &bug : close.external)
         merged.push_back(bug);
     std::stable_sort(merged.begin(), merged.end(),
                      [](const BugReport &a, const BugReport &b) {
@@ -303,9 +446,10 @@ ShardPool::closeSession(SessionId session,
         if (collector.report(bug))
             verdict.bugs.push_back(bug);
     }
-    for (const DebuggerStats &part : barrier.stats)
+    for (const DebuggerStats &part : close.stats)
         mergeStats(&verdict.stats, part);
-    return verdict;
+    if (close.done)
+        close.done(std::move(verdict));
 }
 
 std::uint64_t
@@ -314,79 +458,147 @@ ShardPool::straddleCount() const
     return straddles_.load(std::memory_order_relaxed);
 }
 
-void
-ShardPool::workerLoop(Worker &worker, std::size_t index)
+std::vector<ShardStats>
+ShardPool::shardStats() const
 {
-    (void)index;
-    for (;;) {
-        Task task;
-        {
-            std::unique_lock<std::mutex> lock(worker.mutex);
-            worker.wake.wait(lock, [&] {
-                return worker.stopping || !worker.queue.empty();
-            });
-            if (worker.queue.empty()) {
-                if (worker.stopping)
-                    return;
-                continue;
+    std::vector<ShardStats> stats(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+        stats[i].batches =
+            counters_[i]->batches.load(std::memory_order_relaxed);
+        stats[i].events =
+            counters_[i]->events.load(std::memory_order_relaxed);
+        stats[i].steals =
+            counters_[i]->steals.load(std::memory_order_relaxed);
+    }
+    return stats;
+}
+
+std::uint64_t
+ShardPool::stealCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &counter : counters_)
+        total += counter->steals.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+ShardPool::runTask(SessionShard &queue, Task &task)
+{
+    Counters &counters = *counters_[queue.shard];
+    switch (task.kind) {
+      case Task::Kind::Open:
+        queue.debugger = std::make_unique<PmDebugger>(task.config);
+        queue.debugger->attached(queue.names);
+        break;
+      case Task::Kind::Name: {
+        const std::uint32_t id = queue.names.intern(task.name);
+        if (id != task.nameId) {
+            warn("service shard: name id mismatch (got " +
+                 std::to_string(id) + ", expected " +
+                 std::to_string(task.nameId) + ")");
+        }
+        break;
+      }
+      case Task::Kind::Events:
+        if (queue.shard == config_.slowShard &&
+            config_.slowShardDelayUs) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                config_.slowShardDelayUs));
+        }
+        if (queue.debugger) {
+            queue.debugger->handleBatch(task.events.data(),
+                                        task.events.size());
+        }
+        counters.batches.fetch_add(1, std::memory_order_relaxed);
+        counters.events.fetch_add(task.events.size(),
+                                  std::memory_order_relaxed);
+        break;
+      case Task::Kind::Close: {
+        std::vector<BugReport> bugs;
+        DebuggerStats stats;
+        if (queue.debugger) {
+            queue.debugger->finalize();
+            bugs = queue.debugger->bugs().bugs();
+            stats = queue.debugger->stats();
+            queue.debugger.reset();
+        }
+        CloseState &close = *task.close;
+        close.bugs[queue.shard] = std::move(bugs);
+        close.stats[queue.shard] = stats;
+        if (close.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            mergeAndFinish(close);
+        }
+        break;
+      }
+    }
+}
+
+void
+ShardPool::workerLoop(std::size_t index)
+{
+    std::unique_lock<std::mutex> lock(queuesMutex_);
+    const auto anyReady = [&]() -> SessionShard * {
+        if (!ready_[index].empty()) {
+            SessionShard *queue = ready_[index].front();
+            ready_[index].pop_front();
+            return queue;
+        }
+        // Idle: steal a ready queue of another shard. Any worker can
+        // serve any queue — each carries its own detector state.
+        for (std::size_t step = 1; step < config_.shards; ++step) {
+            const std::size_t other =
+                (index + step) % config_.shards;
+            if (!ready_[other].empty()) {
+                SessionShard *queue = ready_[other].front();
+                ready_[other].pop_front();
+                counters_[queue->shard]->steals.fetch_add(
+                    1, std::memory_order_relaxed);
+                return queue;
             }
-            task = std::move(worker.queue.front());
-            worker.queue.pop_front();
+        }
+        return nullptr;
+    };
+
+    for (;;) {
+        SessionShard *queue = anyReady();
+        if (!queue) {
+            if (stopping_)
+                return;
+            wake_.wait(lock);
+            continue;
         }
 
-        switch (task.kind) {
-          case Task::Kind::Open: {
-            auto session = std::make_unique<Worker::Session>();
-            session->debugger =
-                std::make_unique<PmDebugger>(task.config);
-            session->debugger->attached(session->names);
-            worker.sessions[task.session] = std::move(session);
-            break;
-          }
-          case Task::Kind::Name: {
-            const auto it = worker.sessions.find(task.session);
-            if (it == worker.sessions.end())
-                break;
-            const std::uint32_t id = it->second->names.intern(task.name);
-            if (id != task.nameId) {
-                warn("service shard: name id mismatch (got " +
-                     std::to_string(id) + ", expected " +
-                     std::to_string(task.nameId) + ")");
-            }
-            break;
-          }
-          case Task::Kind::Events: {
-            const auto it = worker.sessions.find(task.session);
-            if (it == worker.sessions.end())
-                break;
-            it->second->debugger->handleBatch(task.events.data(),
-                                              task.events.size());
-            break;
-          }
-          case Task::Kind::Close: {
-            const auto it = worker.sessions.find(task.session);
-            std::vector<BugReport> bugs;
-            DebuggerStats stats;
-            if (it != worker.sessions.end()) {
-                it->second->debugger->finalize();
-                bugs = it->second->debugger->bugs().bugs();
-                stats = it->second->debugger->stats();
-                worker.sessions.erase(it);
-            }
-            CloseBarrier *barrier = task.barrier;
-            {
-                // Notify while still holding the mutex: the barrier
-                // lives on closeSession's stack and is destroyed as
-                // soon as the closer observes remaining == 0. An
-                // unlocked notify could run after that destruction.
-                std::lock_guard<std::mutex> lock(barrier->mutex);
-                barrier->bugs[index] = std::move(bugs);
-                barrier->stats[index] = stats;
-                --barrier->remaining;
-                barrier->done.notify_all();
-            }
-            break;
-          }
+        // Lease the queue and take its whole backlog: exclusivity
+        // keeps per-(session,shard) order, coarse granularity keeps
+        // the lock off the per-event path.
+        queue->ready = false;
+        queue->leased = true;
+        std::deque<Task> taken;
+        taken.swap(queue->queue);
+        queue->eventsTasks = 0;
+        lock.unlock();
+
+        bool sawClose = false;
+        for (Task &task : taken) {
+            runTask(*queue, task);
+            sawClose |= task.kind == Task::Kind::Close;
+        }
+        taken.clear();
+
+        lock.lock();
+        queue->leased = false;
+        if (sawClose)
+            queue->closed = true;
+        if (queue->closed && queue->queue.empty()) {
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(queue->session) *
+                    config_.shards +
+                queue->shard;
+            queues_.erase(key);
+        } else {
+            markReadyLocked(*queue);
         }
     }
 }

@@ -1,10 +1,11 @@
 /**
  * @file
- * Address-range-sharded detector workers.
+ * Address-range-sharded detector state served by a work-stealing
+ * worker pool.
  *
- * The daemon partitions each session's event stream across a pool of
- * shard workers. Every (session, shard) pair owns an independent
- * PmDebugger, so shards never contend on bookkeeping state:
+ * The daemon partitions each session's event stream across shard
+ * indices. Every (session, shard) pair owns an independent PmDebugger,
+ * so shards never contend on bookkeeping state:
  *
  *  - **addressed** events (Store, Flush, TxLog) route by address
  *    stripe: shard = (addr / stripeBytes + sessionId) % shards. A
@@ -19,15 +20,35 @@
  *    strand model's cross-strand rules) are **pinned**: their whole
  *    stream goes to one shard, the degenerate global-order barrier.
  *
- * Report identity: the session's *home* shard (the one stripe 0 maps
- * to) sees the full event subsequence of any single-stripe stream, so
- * its debugger behaves bit-identically to an in-process one. Rules
- * that fire from boundary context alone (redundant epoch fence) are
- * enabled only on the home shard so broadcasting cannot duplicate
- * them. closeSession() merges per-shard bug lists by a stable
- * sequence-number sort with the home shard first, then re-collects
- * through a fresh BugCollector — preserving both chronological order
- * and first-detection dedup semantics.
+ * Execution model (the PR-6 rework): detector state no longer lives
+ * inside a dedicated per-shard thread. Each (session, shard) pair is a
+ * **task queue** — a bounded FIFO of Open/Name/Events/Close tasks plus
+ * the pair's NameTable + PmDebugger — and a shared pool of workers
+ * leases ready queues. A worker prefers queues whose shard index
+ * matches its own (cache affinity), but an idle worker **steals** a
+ * ready queue of any other shard: since every queue carries its own
+ * debugger, any worker may serve any queue, as long as at most one
+ * worker holds a lease at a time. A lease drains the queue's whole
+ * backlog, so stealing granularity is coarse and the per-task
+ * bookkeeping cost stays amortized.
+ *
+ * Invariants this preserves:
+ *  - **per-(session,shard) event order**: tasks enter each queue in
+ *    stream order (one router per session), queues are FIFO, and the
+ *    lease makes processing mutually exclusive — so each debugger
+ *    observes exactly the subsequence an in-process detector would;
+ *  - **bounded queues**: Events tasks respect a per-queue cap;
+ *    tryRouteEvents refuses what does not fit and the caller retries
+ *    later (backpressure propagates to the client ring). Control
+ *    tasks (Open/Name/Close) bypass the cap — rejecting them could
+ *    deadlock a session;
+ *  - **merge determinism**: closeSession merges per-shard bug lists
+ *    by a stable sequence-number sort with the session's home shard
+ *    (the one stripe 0 maps to) first, then re-collects through a
+ *    fresh BugCollector — preserving chronological order and
+ *    first-detection dedup, independent of which worker ran which
+ *    queue. Context-only rules (redundant epoch fence) are enabled on
+ *    the home shard only so broadcasting cannot duplicate them.
  *
  * Why sharding pays even on one core: each shard's fence-interval
  * working set stays within its own fixed-capacity memory-location
@@ -43,6 +64,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,7 +85,7 @@ namespace pmdb
 /** Shard-pool shape. */
 struct ShardPoolConfig
 {
-    /** Number of detector workers. */
+    /** Number of shard indices == detector workers. */
     std::size_t shards = 1;
     /** Address-stripe granularity for routing addressed events. */
     Addr stripeBytes = 64ull << 20;
@@ -71,6 +93,19 @@ struct ShardPoolConfig
     std::size_t arrayCapacity = 100000;
     /** Per-shard AVL lazy-merge threshold. */
     std::size_t mergeThreshold = 500;
+    /** Max queued Events tasks per (session, shard) queue. */
+    std::size_t queueCapacity = 64;
+    /** Pin worker threads round-robin to cores, starting at pinBase. */
+    bool pinCores = false;
+    std::size_t pinBase = 0;
+    /**
+     * Test hook: a worker processing an Events task whose queue lives
+     * on @p slowShard sleeps @p slowShardDelayUs first — a
+     * deterministically slow detector for the work-stealing stress
+     * test. Disabled by default.
+     */
+    std::size_t slowShard = ~static_cast<std::size_t>(0);
+    std::uint32_t slowShardDelayUs = 0;
 };
 
 /** Merged per-session result returned by closeSession. */
@@ -82,7 +117,31 @@ struct SessionVerdict
     DebuggerStats stats;
 };
 
-/** Pool of shard workers with FIFO per-shard task queues. */
+/** Per-shard execution counters (ingest observability). */
+struct ShardStats
+{
+    /** Event batches (tasks) processed. */
+    std::uint64_t batches = 0;
+    /** Events processed. */
+    std::uint64_t events = 0;
+    /** Queue leases taken by a worker of a different shard index. */
+    std::uint64_t steals = 0;
+};
+
+/**
+ * Routed per-shard event subsequences that did not fit their target
+ * queues. Order within each part is stream order; the owner must
+ * retry (tryFlushPending) before routing newer events of the same
+ * session.
+ */
+struct PendingRoute
+{
+    std::vector<std::pair<std::size_t, std::vector<Event>>> parts;
+
+    bool empty() const { return parts.empty(); }
+};
+
+/** Work-stealing pool over per-(session, shard) detector queues. */
 class ShardPool
 {
   public:
@@ -119,40 +178,92 @@ class ShardPool
 
     /**
      * Partition @p events into per-shard subsequences (preserving
-     * relative order) and enqueue them.
+     * relative order) and enqueue them, respecting the per-queue
+     * Events cap. Parts that do not fit are appended to @p overflow
+     * (created in shard order); returns true when everything was
+     * enqueued. The caller must not route newer events for this
+     * session until tryFlushPending has emptied @p overflow.
+     */
+    bool tryRouteEvents(SessionId session, const Event *events,
+                        std::size_t count, PendingRoute *overflow);
+
+    /** Retry a previous overflow; true once all parts are enqueued. */
+    bool tryFlushPending(SessionId session, PendingRoute *overflow);
+
+    /**
+     * Blocking convenience for tests and the shard-scaling bench:
+     * route and retry until everything is enqueued.
      */
     void routeEvents(SessionId session, const Event *events,
                      std::size_t count);
 
     /**
-     * Finalize the session's debugger on every shard, merge the
-     * per-shard bug lists and stats, and release the session. External
-     * bugs (client-reported cross-failure findings) in @p external are
-     * merged in seq order after same-seq detector bugs. Blocks until
-     * all shards have finalized.
+     * Enqueue the session's Close on every shard and return
+     * immediately. When the last shard has finalized, the merged
+     * verdict (per-shard bug lists merged home-first by stable seq
+     * sort, external client-reported bugs last at equal seq, stats
+     * aggregated) is passed to @p done on the finalizing worker's
+     * thread. The session is released afterwards.
      */
+    void closeSessionAsync(SessionId session,
+                           std::vector<BugReport> external,
+                           std::function<void(SessionVerdict &&)> done);
+
+    /** Blocking closeSession: closeSessionAsync + wait. */
     SessionVerdict closeSession(SessionId session,
                                 const std::vector<BugReport> &external);
 
     /** Addressed events whose range straddled a stripe boundary. */
     std::uint64_t straddleCount() const;
 
+    /** Snapshot of per-shard execution counters. */
+    std::vector<ShardStats> shardStats() const;
+
+    /** Total queue leases stolen across shard indices. */
+    std::uint64_t stealCount() const;
+
   private:
-    struct CloseBarrier;
+    struct CloseState;
     struct Task;
-    struct Worker;
+    struct SessionShard;
 
     std::size_t homeShard(SessionId session) const;
     std::size_t shardOf(SessionId session, Addr addr) const;
-    void enqueue(std::size_t shard, Task task);
-    void workerLoop(Worker &worker, std::size_t index);
+    SessionShard *queueOf(SessionId session, std::size_t shard);
+    /** Enqueue under queuesMutex_; marks the queue ready and wakes a
+     *  worker. Control tasks ignore the Events cap. */
+    void enqueueLocked(SessionShard &queue, Task task);
+    void markReadyLocked(SessionShard &queue);
+    void workerLoop(std::size_t index);
+    void runTask(SessionShard &queue, Task &task);
+    void mergeAndFinish(CloseState &close);
 
     ShardPoolConfig config_;
-    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> workers_;
+
+    /** Guards queues_, ready_, and every SessionShard's queue/lease. */
+    mutable std::mutex queuesMutex_;
+    std::condition_variable wake_;
+    /** (session, shard) → queue; key = session * shards + shard. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<SessionShard>>
+        queues_;
+    /** Ready (non-empty, unleased) queues per shard index. */
+    std::vector<std::deque<SessionShard *>> ready_;
+    bool stopping_ = false;
+
     /** pinned flag per open session, read by the routing thread. */
     std::unordered_map<SessionId, bool> pinned_;
     mutable std::mutex pinnedMutex_;
+
     std::atomic<std::uint64_t> straddles_{0};
+    /** Per-shard counters on their own cache lines. */
+    struct alignas(64) Counters
+    {
+        std::atomic<std::uint64_t> batches{0};
+        std::atomic<std::uint64_t> events{0};
+        std::atomic<std::uint64_t> steals{0};
+    };
+    std::vector<std::unique_ptr<Counters>> counters_;
     bool running_ = false;
 };
 

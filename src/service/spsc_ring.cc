@@ -74,6 +74,8 @@ EventRing::create(const std::string &path, std::uint32_t slots,
         reinterpret_cast<std::uint8_t *>(map) + sizeof(RingHeader));
     mapBytes_ = bytes;
     slots_ = slots;
+    cachedTail_ = 0;
+    cachedHead_ = 0;
     path_ = path;
     owner_ = true;
     return true;
@@ -110,6 +112,8 @@ EventRing::open(const std::string &path, std::string *error)
         reinterpret_cast<std::uint8_t *>(map) + sizeof(RingHeader));
     mapBytes_ = bytes;
     slots_ = header->slots;
+    cachedTail_ = header->tail.load(std::memory_order_relaxed);
+    cachedHead_ = header->head.load(std::memory_order_relaxed);
     path_ = path;
     owner_ = false;
     return true;
@@ -127,43 +131,64 @@ EventRing::close()
     slotsBase_ = nullptr;
     mapBytes_ = 0;
     slots_ = 0;
+    cachedTail_ = 0;
+    cachedHead_ = 0;
     owner_ = false;
 }
 
-Event &
-EventRing::slot(std::uint64_t seq)
-{
-    return slotsBase_[seq % slots_];
-}
-
-bool
-EventRing::tryPush(const Event &event)
+std::size_t
+EventRing::tryPushBatch(const Event *events, std::size_t count)
 {
     const std::uint64_t head =
         header_->head.load(std::memory_order_relaxed);
-    const std::uint64_t tail =
-        header_->tail.load(std::memory_order_acquire);
-    if (head - tail >= slots_)
-        return false; // out of credits
-    slot(head) = event;
-    header_->head.store(head + 1, std::memory_order_release);
-    return true;
+    std::uint64_t free = slots_ - (head - cachedTail_);
+    if (free < count) {
+        // The cached tail makes the ring look too full for the whole
+        // frame; pay the cross-line read and retry against the truth.
+        cachedTail_ = header_->tail.load(std::memory_order_acquire);
+        free = slots_ - (head - cachedTail_);
+    }
+    const std::size_t accept =
+        count < free ? count : static_cast<std::size_t>(free);
+    if (!accept)
+        return 0;
+    // The frame occupies [head, head + accept): at most two contiguous
+    // spans of the slot array (one wrap).
+    const std::size_t at = static_cast<std::size_t>(head % slots_);
+    const std::size_t firstSpan =
+        std::min<std::size_t>(accept, slots_ - at);
+    std::memcpy(slotsBase_ + at, events, firstSpan * sizeof(Event));
+    if (firstSpan < accept) {
+        std::memcpy(slotsBase_, events + firstSpan,
+                    (accept - firstSpan) * sizeof(Event));
+    }
+    header_->head.store(head + accept, std::memory_order_release);
+    return accept;
 }
 
 std::size_t
-EventRing::tryPop(Event *out, std::size_t max)
+EventRing::popBatch(Event *out, std::size_t max)
 {
     const std::uint64_t tail =
         header_->tail.load(std::memory_order_relaxed);
-    const std::uint64_t head =
-        header_->head.load(std::memory_order_acquire);
-    std::size_t count = static_cast<std::size_t>(head - tail);
+    if (cachedHead_ == tail) {
+        // Ring looks empty through the cache; read the shared head.
+        cachedHead_ = header_->head.load(std::memory_order_acquire);
+        if (cachedHead_ == tail)
+            return 0;
+    }
+    std::size_t count = static_cast<std::size_t>(cachedHead_ - tail);
     if (count > max)
         count = max;
-    for (std::size_t i = 0; i < count; ++i)
-        out[i] = slot(tail + i);
-    if (count)
-        header_->tail.store(tail + count, std::memory_order_release);
+    const std::size_t at = static_cast<std::size_t>(tail % slots_);
+    const std::size_t firstSpan =
+        std::min<std::size_t>(count, slots_ - at);
+    std::memcpy(out, slotsBase_ + at, firstSpan * sizeof(Event));
+    if (firstSpan < count) {
+        std::memcpy(out + firstSpan, slotsBase_,
+                    (count - firstSpan) * sizeof(Event));
+    }
+    header_->tail.store(tail + count, std::memory_order_release);
     return count;
 }
 

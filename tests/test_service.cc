@@ -168,6 +168,56 @@ TEST(EventRingTest, FullRingRejectsUntilDrained)
     EXPECT_EQ(ring.droppedCount(), 2u);
 }
 
+TEST(EventRingTest, BatchPushPopInWholeFramesAcrossWraparound)
+{
+    const std::string path = scratchPath("ringbatch");
+    EventRing producer;
+    std::string error;
+    ASSERT_TRUE(producer.create(path, 16, &error)) << error;
+    EventRing consumer;
+    ASSERT_TRUE(consumer.open(path, &error)) << error;
+
+    // Offset the cursors so batch frames straddle the wrap point.
+    Event seed;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(producer.tryPush(seed));
+    Event out[16];
+    ASSERT_EQ(consumer.tryPop(out, 16), 5u);
+
+    SeqNum next_push = 1;
+    SeqNum next_pop = 1;
+    Event batch[6];
+    for (int lap = 0; lap < 8; ++lap) {
+        for (auto &event : batch) {
+            event.addr = 0x40;
+            event.seq = next_push++;
+        }
+        // 6 of 6 fit: a frame is all-or-prefix, and an empty 16-slot
+        // ring always has room for 6.
+        ASSERT_EQ(producer.tryPushBatch(batch, 6), 6u);
+        const std::size_t popped = consumer.popBatch(out, 16);
+        ASSERT_EQ(popped, 6u);
+        for (std::size_t i = 0; i < popped; ++i)
+            EXPECT_EQ(out[i].seq, next_pop++);
+    }
+
+    // A batch larger than the free space publishes the fitting prefix.
+    for (auto &event : batch)
+        event.seq = next_push++;
+    ASSERT_EQ(producer.tryPushBatch(batch, 6), 6u);
+    Event big[20];
+    for (auto &event : big)
+        event.seq = 0;
+    EXPECT_EQ(producer.tryPushBatch(big, 20), 10u); // 16 - 6 queued
+    EXPECT_EQ(consumer.size(), 16u);
+    EXPECT_EQ(producer.tryPushBatch(big, 4), 0u); // full
+    std::size_t drained = 0;
+    while (drained < 16)
+        drained += consumer.popBatch(out, 16);
+    EXPECT_EQ(drained, 16u);
+    EXPECT_EQ(consumer.size(), 0u);
+}
+
 TEST(EventRingTest, OpenRejectsGarbageFile)
 {
     const std::string path = scratchPath("ringbad");
@@ -268,6 +318,61 @@ TEST(ServiceIdentityTest, FullBugSuiteOneShard)
 TEST(ServiceIdentityTest, FullBugSuiteThreeShards)
 {
     suiteIdentityAtShards(3);
+}
+
+/**
+ * Identity under real concurrency: @p clients threads stream the
+ * full 78-case suite (dealt round-robin, every case covered) into one
+ * daemon at @p shards shards, and every session's report must equal
+ * its in-process baseline. This is the multiplexing stress: pollers
+ * interleave rings mid-stream, and shard workers steal queues across
+ * sessions.
+ */
+void
+concurrentSuiteIdentity(std::size_t shards, std::size_t clients)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = shards;
+    config.pollers = 2;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const std::vector<BugCase> &suite = bugSuite();
+    std::vector<std::vector<BugReport>> locals(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        locals[i] = runLocal(suite[i]);
+
+    std::vector<std::vector<BugReport>> remotes(suite.size());
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (std::size_t i = c; i < suite.size(); i += clients)
+                remotes[i] = runRemote(suite[i], config.socketPath);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_TRUE(sameBugs(locals[i], remotes[i]))
+            << "case " << suite[i].id << " (" << suite[i].name
+            << ") at " << shards << " shard(s), " << clients
+            << " concurrent clients";
+    }
+    EXPECT_EQ(daemon.completedSessions(), suite.size());
+    daemon.stop();
+}
+
+TEST(ServiceIdentityTest, FourConcurrentClientsFullSuiteOneShard)
+{
+    concurrentSuiteIdentity(1, 4);
+}
+
+TEST(ServiceIdentityTest, FourConcurrentClientsFullSuiteFourShards)
+{
+    concurrentSuiteIdentity(4, 4);
 }
 
 TEST(ServiceIdentityTest, SpillPolicyWithTinyRingStaysExact)
@@ -442,6 +547,128 @@ TEST(ServiceTest, ClientSurvivesMissingDaemon)
     EXPECT_FALSE(sink.connect(options, &error));
     EXPECT_FALSE(error.empty());
     EXPECT_FALSE(sink.connected());
+}
+
+/** A fully persisted stream spread over @p stripes 4 KiB stripes. */
+std::vector<Event>
+stripedCleanStream(std::size_t rounds, std::size_t stripes)
+{
+    std::vector<Event> events;
+    SeqNum seq = 1;
+    auto emit = [&](EventKind kind, Addr addr, std::uint32_t size) {
+        Event event;
+        event.kind = kind;
+        event.addr = addr;
+        event.size = size;
+        event.seq = seq++;
+        events.push_back(event);
+    };
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
+            const Addr base = static_cast<Addr>(stripe) * 4096;
+            const Addr addr = base + 64 * (round % 16);
+            emit(EventKind::Store, addr, 64);
+            emit(EventKind::Flush, addr, 64);
+        }
+        emit(EventKind::Fence, 0, 0);
+    }
+    emit(EventKind::ProgramEnd, 0, 0);
+    return events;
+}
+
+TEST(ShardPoolTest, WorkStealingCoversDeliberatelySlowShard)
+{
+    // Shard 0's worker sleeps on every Events task; its queues keep
+    // turning ready while it is busy, so other workers must steal
+    // them or the run crawls. Verify steals happen and the verdict
+    // still equals an unhandicapped pool's.
+    const auto runPool = [](bool slow) {
+        ShardPoolConfig config;
+        config.shards = 4;
+        config.stripeBytes = 4096;
+        config.queueCapacity = 4;
+        if (slow) {
+            config.slowShard = 0;
+            config.slowShardDelayUs = 200;
+        }
+        ShardPool pool(config);
+        pool.start();
+        pool.openSession(1, DebuggerConfig{}, /*pinned=*/false);
+        const std::vector<Event> events =
+            stripedCleanStream(400, config.shards);
+        // Small chunks -> many Events tasks per shard queue.
+        constexpr std::size_t chunk = 32;
+        for (std::size_t at = 0; at < events.size(); at += chunk) {
+            pool.routeEvents(1, events.data() + at,
+                             std::min(chunk, events.size() - at));
+        }
+        SessionVerdict verdict = pool.closeSession(1, {});
+        const std::uint64_t steals = pool.stealCount();
+        pool.stop();
+        return std::make_pair(std::move(verdict), steals);
+    };
+
+    auto [fastVerdict, fastSteals] = runPool(false);
+    auto [slowVerdict, slowSteals] = runPool(true);
+    (void)fastSteals;
+    EXPECT_GT(slowSteals, 0u) << "no queue was ever stolen from the "
+                                 "slow shard";
+    EXPECT_TRUE(sameBugs(fastVerdict.bugs, slowVerdict.bugs));
+    EXPECT_EQ(fastVerdict.stats.stores, slowVerdict.stats.stores);
+    EXPECT_EQ(fastVerdict.stats.flushes, slowVerdict.stats.flushes);
+}
+
+TEST(ServiceTest, IngestCountersSurfaceInSummariesAndJson)
+{
+    ServiceConfig config;
+    config.socketPath = scratchPath("sock");
+    config.pool.shards = 2;
+    config.pollers = 1;
+    ServiceDaemon daemon(config);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    PmRuntime runtime;
+    RemoteSink sink;
+    RemoteSink::Options options;
+    options.socketPath = config.socketPath;
+    options.ringPath = scratchPath("ring");
+    ASSERT_TRUE(sink.connect(options, &error)) << error;
+    runtime.attach(&sink);
+    for (int i = 0; i < 4096; ++i) {
+        runtime.store(0x1000 + 64u * (i % 32), 64);
+        runtime.flush(0x1000 + 64u * (i % 32), 64);
+        if (i % 32 == 31)
+            runtime.fence();
+    }
+    runtime.programEnd();
+    ReportBody report;
+    ASSERT_TRUE(sink.finish(&report, &error)) << error;
+
+    const std::vector<SessionSummary> sessions = daemon.summaries();
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_GT(sessions[0].batchesDrained, 0u);
+    EXPECT_GT(sessions[0].eventsProcessed, 0u);
+    EXPECT_GT(sessions[0].seconds, 0.0);
+
+    const IngestStats ingest = daemon.ingestStats();
+    EXPECT_GT(ingest.polls, 0u);
+
+    const std::vector<ShardStats> shards = daemon.shardStats();
+    ASSERT_EQ(shards.size(), 2u);
+    std::uint64_t shardEvents = 0;
+    for (const ShardStats &shard : shards)
+        shardEvents += shard.events;
+    EXPECT_GE(shardEvents, sessions[0].eventsProcessed);
+
+    const std::string json = daemon.aggregatedJson();
+    for (const char *key :
+         {"\"pollers\"", "\"idle_poll_ratio\"", "\"steals\"",
+          "\"shard_stats\"", "\"batches_drained\"",
+          "\"queue_full_stalls\"", "\"events_per_sec\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    daemon.stop();
 }
 
 } // namespace

@@ -8,11 +8,17 @@
  *
  * Usage:
  *   pmdbd --socket PATH [--shards N] [--stripe-bytes B]
- *         [--array-capacity N] [--once N] [--json]
+ *         [--array-capacity N] [--pollers N] [--pin-cores]
+ *         [--once N] [--json]
  *
- *   --once N   exit after N sessions complete (CI smoke tests);
- *              without it, run until SIGINT/SIGTERM.
- *   --json     print the aggregated per-session report on exit.
+ *   --pollers N   ring-poller threads multiplexing client rings.
+ *   --pin-cores   pin pollers + shard workers to distinct cores.
+ *   --once N      exit after N sessions complete (CI smoke tests);
+ *                 without it, run until SIGINT/SIGTERM.
+ *   --json        print the aggregated per-session report on exit,
+ *                 including ingest counters (batches drained,
+ *                 events/s, steals, queue-full stalls, idle-poll
+ *                 ratio).
  */
 
 #include <atomic>
@@ -43,7 +49,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--shards N] "
                  "[--stripe-bytes B]\n"
-                 "          [--array-capacity N] [--once N] [--json]\n",
+                 "          [--array-capacity N] [--pollers N] "
+                 "[--pin-cores] [--once N] [--json]\n",
                  argv0);
 }
 
@@ -77,6 +84,10 @@ main(int argc, char **argv)
         else if (arg == "--array-capacity")
             config.pool.arrayCapacity =
                 std::strtoull(next(), nullptr, 10);
+        else if (arg == "--pollers")
+            config.pollers = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--pin-cores")
+            config.pinCores = true;
         else if (arg == "--once")
             once = std::strtol(next(), nullptr, 10);
         else if (arg == "--json")
@@ -100,8 +111,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "pmdbd: %s\n", error.c_str());
         return 1;
     }
-    std::fprintf(stderr, "pmdbd: listening on %s (%zu shards)\n",
-                 config.socketPath.c_str(), config.pool.shards);
+    std::fprintf(stderr,
+                 "pmdbd: listening on %s (%zu shards, %zu pollers%s)\n",
+                 config.socketPath.c_str(), config.pool.shards,
+                 config.pollers ? config.pollers : 1,
+                 config.pinCores ? ", pinned" : "");
 
     if (once >= 0) {
         while (!interrupted.load() &&
