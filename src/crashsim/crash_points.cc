@@ -113,17 +113,25 @@ candidateCountFor(std::size_t pending_lines, bool epoch_open,
 std::string
 CrashScanSummary::toString() const
 {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "events                 %llu\n"
         "crash points           %llu\n"
+        "  at SFENCE            %llu\n"
+        "  at TX_END            %llu\n"
+        "  at strand join       %llu\n"
+        "  at CLF               %llu\n"
         "  epoch-coalesced      %llu\n"
         "pending lines total    %llu\n"
         "max pending at point   %zu\n"
         "images enumerable      %llu\n",
         static_cast<unsigned long long>(events),
         static_cast<unsigned long long>(crashPoints),
+        static_cast<unsigned long long>(pointsAtFence),
+        static_cast<unsigned long long>(pointsAtEpochEnd),
+        static_cast<unsigned long long>(pointsAtJoinStrand),
+        static_cast<unsigned long long>(pointsAtFlush),
         static_cast<unsigned long long>(epochCoalescedPoints),
         static_cast<unsigned long long>(pendingLinesTotal),
         maxPendingAtPoint,
@@ -149,8 +157,22 @@ scanCrashPoints(const std::vector<Event> &events,
             fn(line);
     };
 
-    auto record_point = [&](bool epoch_open) {
+    auto record_point = [&](EventKind boundary, bool epoch_open) {
         ++summary.crashPoints;
+        switch (boundary) {
+          case EventKind::Fence:
+            ++summary.pointsAtFence;
+            break;
+          case EventKind::EpochEnd:
+            ++summary.pointsAtEpochEnd;
+            break;
+          case EventKind::JoinStrand:
+            ++summary.pointsAtJoinStrand;
+            break;
+          default:
+            ++summary.pointsAtFlush;
+            break;
+        }
         summary.pendingLinesTotal += pending.size();
         summary.maxPendingAtPoint =
             std::max(summary.maxPendingAtPoint, pending.size());
@@ -173,7 +195,7 @@ scanCrashPoints(const std::vector<Event> &events,
                     pending.insert(line);
             });
             if (options.captureAtFlush)
-                record_point(epoch_depth > 0);
+                record_point(EventKind::Flush, epoch_depth > 0);
             break;
           case EventKind::EpochBegin:
             ++epoch_depth;
@@ -181,12 +203,12 @@ scanCrashPoints(const std::vector<Event> &events,
           case EventKind::EpochEnd:
             if (epoch_depth > 0)
                 --epoch_depth;
-            record_point(true);
+            record_point(EventKind::EpochEnd, true);
             pending.clear();
             break;
           case EventKind::Fence:
           case EventKind::JoinStrand:
-            record_point(epoch_depth > 0);
+            record_point(event.kind, epoch_depth > 0);
             pending.clear();
             break;
           default:

@@ -202,6 +202,15 @@ struct CrashScanSummary
     std::size_t maxPendingAtPoint = 0;
     /** Candidate images a bounded enumeration would explore. */
     std::uint64_t imagesEnumerable = 0;
+    /**
+     * Ordering-boundary histogram: which event kind each crash point
+     * hangs off (Fence / EpochEnd / JoinStrand, plus Flush when
+     * captureAtFlush). Sums to crashPoints.
+     */
+    std::uint64_t pointsAtFence = 0;
+    std::uint64_t pointsAtEpochEnd = 0;
+    std::uint64_t pointsAtJoinStrand = 0;
+    std::uint64_t pointsAtFlush = 0;
 
     std::string toString() const;
 };

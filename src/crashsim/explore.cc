@@ -23,6 +23,8 @@ struct WorkItem
     std::vector<std::size_t> landed;
 };
 
+} // namespace
+
 /**
  * Candidate subsets for one crash point, in deterministic enumeration
  * order. Lines are prioritized by flush recency (ties: line index), so
@@ -30,12 +32,14 @@ struct WorkItem
  * crash.
  */
 std::vector<std::vector<std::size_t>>
-enumerateCandidates(const CrashPointLog &log, const CrashPoint &point,
-                    const CrashsimOptions &options)
+enumerateCrashCandidates(const CrashPointLog &log, const CrashPoint &point,
+                         const CrashsimOptions &options, bool *truncated)
 {
     const std::size_t begin = point.pendingBegin;
     const std::size_t n = log.pendingCount(point);
     std::vector<std::vector<std::size_t>> out;
+    if (truncated)
+        *truncated = false;
 
     if (point.epochOpen && options.epochAtomic) {
         // Inside a transaction the logging machinery provides failure
@@ -66,6 +70,8 @@ enumerateCandidates(const CrashPointLog &log, const CrashPoint &point,
     const std::size_t budget =
         std::max<std::size_t>(1, options.maxImagesPerPoint);
     const bool capped = n > k;
+    if (truncated && capped)
+        *truncated = true;
 
     std::set<std::uint64_t> seen_masks;
     bool full_all_added = false;
@@ -102,6 +108,10 @@ enumerateCandidates(const CrashPointLog &log, const CrashPoint &point,
     }
 
     // Bounded: structured candidates first, seeded random masks after.
+    // The budget is below the subset count, so the point is truncated
+    // by construction.
+    if (truncated)
+        *truncated = true;
     const std::uint64_t ones =
         k >= 62 ? ~0ULL : ((1ULL << k) - 1);
     add_mask(0);
@@ -119,6 +129,9 @@ enumerateCandidates(const CrashPointLog &log, const CrashPoint &point,
         add_mask(rng.next() & ones);
     return out;
 }
+
+namespace
+{
 
 /**
  * Greedily shrink a failing landed set: drop each line whose removal
@@ -178,7 +191,11 @@ exploreCrashPoints(const CrashPointLog &log,
             stats.pendingLines += log.pendingCount(point);
             if (point.epochOpen && options.epochAtomic)
                 ++stats.epochCoalescedPoints;
-            auto candidates = enumerateCandidates(log, point, options);
+            bool truncated = false;
+            auto candidates =
+                enumerateCrashCandidates(log, point, options, &truncated);
+            if (truncated)
+                ++stats.truncatedPoints;
             for (std::size_t c = 0; c < candidates.size(); ++c) {
                 ++stats.imagesEnumerated;
                 const std::uint64_t hash =

@@ -70,6 +70,13 @@ struct CrashsimStats
     std::uint64_t imagesDeduped = 0;
     std::uint64_t imagesVerified = 0;
     std::uint64_t minimizeVerifies = 0;
+    /**
+     * Crash points whose enumeration the bounds cut short: more pending
+     * lines than maxPendingLines, or more subsets than
+     * maxImagesPerPoint. Zero means the explored set is the complete
+     * reachable crash-state space of the capture.
+     */
+    std::uint64_t truncatedPoints = 0;
 
     bool operator==(const CrashsimStats &) const = default;
 };
@@ -100,6 +107,20 @@ exploreCrashPoints(const CrashPointLog &log,
                    const CrossFailureChecker::Verifier &verify,
                    const CrashsimOptions &options = {},
                    PmDebugger *debugger = nullptr);
+
+/**
+ * Candidate landed-line subsets for one crash point of @p log, in
+ * deterministic enumeration order (the pre-pass of exploreCrashPoints,
+ * exposed for engines that materialize candidate images themselves —
+ * the model checker). Each candidate is a list of indices into
+ * CrashPointLog::lines; the empty candidate is the drop-everything
+ * image. When @p truncated is non-null it is set to whether the bounds
+ * of @p options cut the enumeration short of the full 2^pending space.
+ */
+std::vector<std::vector<std::size_t>>
+enumerateCrashCandidates(const CrashPointLog &log, const CrashPoint &point,
+                         const CrashsimOptions &options,
+                         bool *truncated = nullptr);
 
 } // namespace pmdb
 

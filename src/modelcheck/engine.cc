@@ -1,0 +1,309 @@
+#include "modelcheck/engine.hh"
+
+#include <thread>
+#include <unistd.h>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stopwatch.hh"
+#include "crashsim/explore.hh"
+#include "modelcheck/pruner.hh"
+#include "service/remote_sink.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+/** Absolute image identity: XOR of every line's content hash. */
+std::uint64_t
+imageContentHash(const std::vector<std::uint8_t> &image)
+{
+    std::uint64_t hash = 0;
+    const std::uint64_t lines = image.size() / cacheLineSize;
+    for (std::uint64_t line = 0; line < lines; ++line)
+        hash ^= lineContentHash(line,
+                                image.data() + line * cacheLineSize);
+    return hash;
+}
+
+} // namespace
+
+ModelChecker::ModelChecker(ModelWorkload &workload,
+                           ModelCheckOptions options)
+    : workload_(workload), options_(std::move(options))
+{
+    runCfg_ = options_.run;
+    if (!options_.connectSocket.empty())
+        runCfg_.recordEvents = true;
+}
+
+void
+ModelChecker::processGroup(const Group &group, const StateCache &frozen,
+                           GroupOutcome &out)
+{
+    const CrashPointLog &log = *group.log;
+    ImageCursor cursor(log);
+    // Shared across this execution's points: the forward-rolling
+    // cursor makes adjacent points' images cheap to compare, and most
+    // duplicates are exactly there (point k+1's drop-everything image
+    // is point k's land-all image).
+    std::unordered_set<std::uint64_t> seen_here;
+
+    for (std::size_t p = 0; p < log.points.size(); ++p) {
+        const CrashPoint &point = log.points[p];
+        bool truncated = false;
+        const std::vector<std::vector<std::size_t>> candidates =
+            enumerateCrashCandidates(log, point, runCfg_.sim,
+                                     &truncated);
+        if (truncated)
+            ++out.truncatedPoints;
+        out.enumerated += candidates.size();
+
+        cursor.advanceTo(p);
+        ReadSetPruner pruner(log, point, options_.prune);
+
+        for (const std::vector<std::size_t> &candidate : candidates) {
+            // Anchor the cursor's baseline-relative delta hash to this
+            // log's absolute baseline identity (Group::logBaseHash).
+            const std::uint64_t hash =
+                group.logBaseHash ^
+                (candidate.empty() ? cursor.baseHash()
+                                   : cursor.candidateHash(candidate));
+            if (!seen_here.insert(hash).second) {
+                ++out.localDuplicates;
+                continue;
+            }
+
+            CandidateOutcome outcome;
+            outcome.hash = hash;
+            outcome.pointIdx = p;
+            if (frozen.contains(hash)) {
+                // Visited in a previous round or run; the recovery
+                // edge out of this state has already been explored.
+                outcome.cachedSkip = true;
+                out.candidates.push_back(std::move(outcome));
+                continue;
+            }
+            if (!pruner.shouldRun(candidate)) {
+                // Covered by a representative: same recovery
+                // execution, but still a distinct persistent state —
+                // the merge counts its identity into the visited set
+                // without re-executing.
+                out.candidates.push_back(std::move(outcome));
+                continue;
+            }
+
+            cursor.apply(candidate);
+            std::vector<std::uint8_t> image = cursor.image();
+            cursor.revert();
+
+            ModelExecution exec =
+                workload_.runRecovery(std::move(image), runCfg_);
+            pruner.observeReads(exec.reads);
+            ++out.executions;
+            out.crashPoints += exec.log.points.size();
+            dispatchToService(exec);
+
+            outcome.executed = true;
+            outcome.inconsistency = std::move(exec.inconsistency);
+            // Inconsistent states are reported, not expanded: their
+            // recovery already failed, so operating past it explores
+            // the consequences of a bug rather than new program
+            // behavior.
+            if (outcome.inconsistency.empty())
+                outcome.childLog =
+                    std::make_shared<const CrashPointLog>(
+                        std::move(exec.log));
+            out.candidates.push_back(std::move(outcome));
+        }
+
+        out.pruned += pruner.pruned();
+        out.refinements += pruner.refinements();
+    }
+}
+
+ModelCheckResult
+ModelChecker::run()
+{
+    Stopwatch watch;
+    ModelCheckResult result;
+    ModelCheckStats &stats = result.stats;
+
+    StateCache cache;
+    if (!options_.cachePath.empty()) {
+        std::string err;
+        if (!cache.load(options_.cachePath, &err))
+            fatal("modelcheck: " + err);
+    }
+
+    ModelExecution initial = workload_.runInitial(runCfg_);
+    ++stats.executions;
+    stats.crashPoints += initial.log.points.size();
+    dispatchToService(initial);
+    if (!initial.inconsistency.empty()) {
+        // The workload broke without any crash; depth-0 finding.
+        ModelCheckFinding finding;
+        finding.detail = initial.inconsistency;
+        result.findings.push_back(std::move(finding));
+    }
+
+    std::vector<Group> frontier;
+    const auto expand = [&](std::shared_ptr<const CrashPointLog> log,
+                            std::size_t depth,
+                            std::vector<SeqNum> chain,
+                            std::vector<Group> &into) {
+        if (depth > options_.maxDepth || log->points.empty())
+            return;
+        Group group;
+        group.logBaseHash = imageContentHash(log->baseline);
+        group.log = std::move(log);
+        group.depth = depth;
+        group.chainPrefix = std::move(chain);
+        into.push_back(std::move(group));
+    };
+    expand(std::make_shared<const CrashPointLog>(std::move(initial.log)),
+           1, {}, frontier);
+
+    while (!frontier.empty() && !stats.budgetExhausted) {
+        ++stats.rounds;
+        std::vector<GroupOutcome> outcomes(frontier.size());
+
+        // Parallel phase: the cache is frozen (read-only), so each
+        // group's outcome is independent of scheduling.
+        std::size_t workers = options_.workers > 0 ? options_.workers : 1;
+        if (workers > frontier.size())
+            workers = frontier.size();
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < frontier.size(); ++i)
+                processGroup(frontier[i], cache, outcomes[i]);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            std::atomic<std::size_t> next{0};
+            for (std::size_t w = 0; w < workers; ++w) {
+                pool.emplace_back([&]() {
+                    for (;;) {
+                        const std::size_t i =
+                            next.fetch_add(1, std::memory_order_relaxed);
+                        if (i >= frontier.size())
+                            return;
+                        processGroup(frontier[i], cache, outcomes[i]);
+                    }
+                });
+            }
+            for (std::thread &thread : pool)
+                thread.join();
+        }
+
+        // Sequential merge in (group, candidate) order: the only place
+        // cache, findings, frontier and frontierHash mutate.
+        std::vector<Group> next_frontier;
+        for (std::size_t i = 0;
+             i < frontier.size() && !stats.budgetExhausted; ++i) {
+            const Group &group = frontier[i];
+            GroupOutcome &outcome = outcomes[i];
+            stats.candidates += outcome.enumerated;
+            stats.prunedCandidates += outcome.pruned;
+            stats.refinements += outcome.refinements;
+            stats.executions += outcome.executions;
+            stats.crashPoints += outcome.crashPoints;
+            stats.dedupedStates += outcome.localDuplicates;
+            stats.truncatedPoints += outcome.truncatedPoints;
+
+            for (CandidateOutcome &cand : outcome.candidates) {
+                if (cand.cachedSkip) {
+                    ++stats.dedupedStates;
+                    continue;
+                }
+                if (!cache.insert(cand.hash)) {
+                    // Another group reached the same state this round.
+                    ++stats.dedupedStates;
+                    continue;
+                }
+                ++stats.distinctStates;
+                result.frontierHash =
+                    mix64(result.frontierHash ^ mix64(cand.hash));
+
+                std::vector<SeqNum> chain = group.chainPrefix;
+                chain.push_back(group.log->points[cand.pointIdx].seq);
+                if (!cand.inconsistency.empty() &&
+                    result.findings.size() < options_.maxFindings) {
+                    ModelCheckFinding finding;
+                    finding.depth = group.depth;
+                    finding.crashSeqs = chain;
+                    finding.stateHash = cand.hash;
+                    finding.detail = cand.inconsistency;
+                    result.findings.push_back(std::move(finding));
+                }
+                if (cand.childLog && group.depth < options_.maxDepth)
+                    expand(cand.childLog, group.depth + 1,
+                           std::move(chain), next_frontier);
+                if (stats.distinctStates >= options_.maxStates) {
+                    stats.budgetExhausted = true;
+                    break;
+                }
+            }
+        }
+        frontier = std::move(next_frontier);
+    }
+
+    if (!options_.cachePath.empty()) {
+        std::string err;
+        if (!cache.save(options_.cachePath, &err))
+            warn("modelcheck: failed to persist state cache: " + err);
+    }
+    result.cacheStates = cache.size();
+    result.connectSessions = connectSessions_.load();
+    result.connectErrors = connectErrors_.load();
+    result.seconds = watch.elapsedSeconds();
+    return result;
+}
+
+void
+ModelChecker::dispatchToService(const ModelExecution &exec)
+{
+    if (options_.connectSocket.empty())
+        return;
+
+    RemoteSink::Options sink_options;
+    sink_options.socketPath = options_.connectSocket;
+    sink_options.ringPath =
+        options_.scratchDir + "/pmdb_mc_ring_" +
+        std::to_string(::getpid()) + "_" +
+        std::to_string(ringSeq_.fetch_add(1));
+
+    RemoteSink sink;
+    std::string err;
+    if (!sink.connect(sink_options, &err)) {
+        connectErrors_.fetch_add(1);
+        return;
+    }
+
+    // The sink interns names ahead of the events that reference them;
+    // replaying the recorded table in id order reproduces the ids the
+    // events carry.
+    NameTable names;
+    for (const std::string &name : exec.names)
+        names.intern(name);
+    sink.attached(names);
+    for (const Event &event : exec.events)
+        sink.handle(event);
+    if (!exec.inconsistency.empty()) {
+        BugReport report;
+        report.type = BugType::CrossFailureSemantic;
+        report.detail = exec.inconsistency;
+        sink.reportBug(report);
+    }
+
+    ReportBody body;
+    if (sink.finish(&body, &err))
+        connectSessions_.fetch_add(1);
+    else
+        connectErrors_.fetch_add(1);
+}
+
+} // namespace pmdb

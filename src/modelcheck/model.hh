@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Workload interface for the crash-state model checker.
+ *
+ * The checker (engine.hh) explores a state space whose nodes are
+ * durable pool images and whose edges are *executions*: the initial
+ * run from an empty pool, and — for every candidate crash image — a
+ * recovery run that reopens the image, repairs it, and continues
+ * operating. A ModelWorkload supplies both edge types as fully
+ * instrumented executions, each captured by a CrashsimSession so the
+ * engine can enumerate where the *next* crash may cut it.
+ *
+ * Contract for implementations:
+ *  - Executions are deterministic functions of (config, input image):
+ *    same image in, same event stream and final image out. The pruning
+ *    soundness argument (DESIGN.md §11) and the resumable state cache
+ *    both stand on this.
+ *  - runRecovery() must *detect* inconsistent images (return a
+ *    non-empty ModelExecution::inconsistency) rather than crash on
+ *    them, and must read the image through the pool's instrumented
+ *    read path so the execution's read set is complete.
+ *  - Recovery repairs and continuation operations must follow the
+ *    workload's real persistence discipline — recovery code has crash
+ *    windows of its own, and finding the multi-crash bugs in them is
+ *    the point of the exercise.
+ */
+
+#ifndef PMDB_MODELCHECK_MODEL_HH
+#define PMDB_MODELCHECK_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crashsim/crash_points.hh"
+#include "trace/event.hh"
+#include "trace/read_set.hh"
+#include "workloads/workload.hh"
+
+namespace pmdb
+{
+
+/** Per-execution configuration for a model-checked workload. */
+struct ModelRunConfig
+{
+    /** Operations the initial execution performs. */
+    std::size_t operations = 8;
+
+    /**
+     * Operations each recovery execution performs after repairing the
+     * image — the continuation that exposes crash points *past* the
+     * first failure. Zero checks recovery itself but never deepens
+     * the heap.
+     */
+    std::size_t recoveryOperations = 1;
+
+    /** Key/value stream seed (recoveries derive their own stream). */
+    std::uint64_t seed = 42;
+
+    /** Pool size in bytes (0 = workload default). */
+    std::size_t poolBytes = 0;
+
+    /** Active fault injections (empty = correct program). */
+    FaultSet faults;
+
+    /** Crash-point capture and enumeration bounds. */
+    CrashsimOptions sim;
+
+    /**
+     * Record the event stream and name table of every execution
+     * (needed to dispatch executions to a pmdbd daemon; off by
+     * default — recording is pure overhead otherwise).
+     */
+    bool recordEvents = false;
+};
+
+/** One instrumented execution observed by the model checker. */
+struct ModelExecution
+{
+    /** Crash points captured while the execution ran. */
+    CrashPointLog log;
+
+    /** Durable pool image when the execution finished. */
+    std::vector<std::uint8_t> finalImage;
+
+    /**
+     * Non-empty when the execution's recovery logic found the input
+     * image inconsistent — the model checker's bug signal.
+     */
+    std::string inconsistency;
+
+    /** Cache lines the execution read (recovery dependence set). */
+    ReadSet reads;
+
+    /** Recorded event stream (only when ModelRunConfig::recordEvents). */
+    std::vector<Event> events;
+
+    /** Interned names in id order, for replaying @ref events. */
+    std::vector<std::string> names;
+};
+
+/** A workload the model checker can drive through crash-recover cycles. */
+class ModelWorkload
+{
+  public:
+    virtual ~ModelWorkload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Run the initial execution from a fresh pool. */
+    virtual ModelExecution runInitial(const ModelRunConfig &cfg) = 0;
+
+    /**
+     * Reopen @p image as a crashed pool, run recovery (verdict +
+     * repair) and, if the image was consistent, the continuation
+     * operations.
+     */
+    virtual ModelExecution runRecovery(std::vector<std::uint8_t> image,
+                                       const ModelRunConfig &cfg) = 0;
+};
+
+/** Names of all model-checkable workloads. */
+std::vector<std::string> modelWorkloadNames();
+
+/**
+ * Build a model workload by name; nullptr for unknown names.
+ * @p buggy selects the seeded-bug variant of the modelcheck-only
+ * workloads (mc_*); the evaluation workloads take faults via
+ * ModelRunConfig instead and ignore it.
+ */
+std::unique_ptr<ModelWorkload>
+makeModelWorkload(const std::string &name, bool buggy = false);
+
+/** A seeded multi-crash recovery bug (reachable only ≥2 crashes deep). */
+struct ModelCheckCase
+{
+    std::string name;
+    /** What the bug is and why depth-1 checking cannot see it. */
+    std::string description;
+    /** Search depth at which the buggy variant must be caught. */
+    std::size_t depth = 2;
+};
+
+/**
+ * The modelcheck-only seeded bugs: recovery-path persistence bugs
+ * whose trigger state exists only after a first crash, so single-crash
+ * exploration (crashsim) is structurally unable to reach them.
+ */
+const std::vector<ModelCheckCase> &modelcheckOnlyCases();
+
+} // namespace pmdb
+
+#endif // PMDB_MODELCHECK_MODEL_HH

@@ -1,0 +1,67 @@
+#include "modelcheck/pruner.hh"
+
+namespace pmdb
+{
+
+ReadSetPruner::ReadSetPruner(const CrashPointLog &log,
+                             const CrashPoint &point, bool enabled)
+    : log_(log), enabled_(enabled)
+{
+    for (std::size_t i = point.pendingBegin; i < point.pendingEnd; ++i)
+        pointLines_.insert(log.lines[i].line);
+}
+
+std::uint64_t
+ReadSetPruner::projectionKey(
+    const std::vector<std::size_t> &candidate) const
+{
+    // Content identity of the candidate's landed lines restricted to
+    // the learned read set. Lines outside the read set are invisible
+    // to every representative executed so far; lines not landed show
+    // the point's base image, which all candidates share.
+    std::uint64_t key = 0;
+    for (std::size_t idx : candidate) {
+        const CapturedLine &cl = log_.lines[idx];
+        if (readLines_.count(cl.line))
+            key ^= lineContentHash(cl.line, cl.data.data());
+    }
+    return key;
+}
+
+bool
+ReadSetPruner::shouldRun(const std::vector<std::size_t> &candidate)
+{
+    if (!enabled_)
+        return true;
+    const std::uint64_t key = projectionKey(candidate);
+    if (repKeys_.count(key)) {
+        ++pruned_;
+        return false;
+    }
+    representatives_.push_back(candidate);
+    repKeys_.insert(key);
+    return true;
+}
+
+void
+ReadSetPruner::observeReads(const ReadSet &reads)
+{
+    if (!enabled_)
+        return;
+    bool grew = false;
+    for (std::uint64_t line : reads.lines()) {
+        if (pointLines_.count(line))
+            grew |= readLines_.insert(line).second;
+    }
+    if (!grew)
+        return;
+    // The equivalence got finer: re-key every representative under the
+    // grown read set so future classifications compare against the
+    // refined classes.
+    ++refinements_;
+    repKeys_.clear();
+    for (const std::vector<std::size_t> &rep : representatives_)
+        repKeys_.insert(projectionKey(rep));
+}
+
+} // namespace pmdb

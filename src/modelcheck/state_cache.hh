@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Visited-state cache for the crash-state model checker.
+ *
+ * States are durable pool images, identified by the crashsim engine's
+ * 64-bit XOR-of-line-content-hashes image identity (crash_points.hh:
+ * lineContentHash). The cache is the search's dedup set: a candidate
+ * crash image whose identity is already present has been covered by an
+ * earlier execution (this run or a previous one) and is not executed
+ * again.
+ *
+ * Identity is a *hash*, so two genuinely different images colliding on
+ * 64 bits would alias — the second one would be skipped. That is the
+ * standard stateless-model-checking compromise (Jaaru and CHESS hash
+ * states the same way); with position-salted per-line FNV mixing the
+ * collision probability across even millions of states is ~2^-40-ish,
+ * and a collision can only suppress a state, never invent a finding.
+ * tests/test_modelcheck.cc pins this behavior.
+ *
+ * Disk format (little-endian, written by save(), read by load()):
+ *
+ *   offset 0   8-byte magic "PMDBMCC1"
+ *   offset 8   u64 count
+ *   offset 16  count * u64 state hashes (unordered)
+ *
+ * load() merges the file's states into the in-memory set, so a
+ * resumed search starts knowing every state any prior run covered;
+ * save() rewrites the whole set. Truncated or foreign files are
+ * rejected (load returns false and leaves the set unchanged).
+ */
+
+#ifndef PMDB_MODELCHECK_STATE_CACHE_HH
+#define PMDB_MODELCHECK_STATE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+namespace pmdb
+{
+
+/** Persistent set of visited persistent-state identities. */
+class StateCache
+{
+  public:
+    /** Add @p hash; true if it was new. */
+    bool insert(std::uint64_t hash)
+    {
+        return states_.insert(hash).second;
+    }
+
+    bool contains(std::uint64_t hash) const
+    {
+        return states_.count(hash) != 0;
+    }
+
+    std::size_t size() const { return states_.size(); }
+
+    void clear() { states_.clear(); }
+
+    const std::unordered_set<std::uint64_t> &states() const
+    {
+        return states_;
+    }
+
+    /**
+     * Merge the states persisted at @p path into the set. A missing
+     * file is not an error (first run); a malformed one is.
+     */
+    bool load(const std::string &path, std::string *error = nullptr);
+
+    /** Atomically rewrite @p path with the current set. */
+    bool save(const std::string &path, std::string *error = nullptr) const;
+
+  private:
+    std::unordered_set<std::uint64_t> states_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_MODELCHECK_STATE_CACHE_HH

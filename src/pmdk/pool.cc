@@ -47,10 +47,66 @@ PmemPool::PmemPool(PmRuntime &runtime, std::size_t size,
     logRegion_ = size - logRegionSize_;
 }
 
+PmemPool::PmemPool(PmRuntime &runtime, std::vector<std::uint8_t> image,
+                   const std::string &name, bool track_persistence)
+    : runtime_(runtime),
+      device_(std::make_unique<PmemDevice>(std::move(image))), name_(name),
+      deviceAttached_(track_persistence), freeLists_(25)
+{
+    const std::size_t size = device_->size();
+    if (size < rootOffset_ + 64 * 1024)
+        fatal("PmemPool: reopened image too small");
+    if (deviceAttached_)
+        runtime_.attach(device_.get());
+    runtime_.registerPmem(name_, 0, static_cast<std::uint32_t>(size));
+
+    // The log region's location is a function of the pool size, so a
+    // reopen lands on the same undo log the crashed run was appending.
+    logRegionSize_ = std::min<std::size_t>(size / 8, 1 << 20);
+    logRegion_ = size - logRegionSize_;
+}
+
 PmemPool::~PmemPool()
 {
     if (deviceAttached_)
         runtime_.detach(device_.get());
+}
+
+void
+PmemPool::recoverHeap()
+{
+    std::lock_guard<std::mutex> guard(allocMutex_);
+    if (heapBase_ == 0) {
+        // No root requested yet; mirror allocInternal's default.
+        heapBase_ = rootOffset_ + allocAlign_;
+    }
+    for (auto &list : freeLists_)
+        list.clear();
+    heapUsed_ = 0;
+
+    // Walk the block sequence from the heap base. A header is valid if
+    // its size is an exact size class that keeps the block inside the
+    // heap and its state is a known value; the first invalid header
+    // marks the frontier of durably completed allocations.
+    Addr slot = heapBase_;
+    while (slot + allocAlign_ + headerSize_ < logRegion_) {
+        const Addr data = slot + allocAlign_;
+        const BlockHeader header = load<BlockHeader>(data - headerSize_);
+        const bool size_valid =
+            header.size >= allocAlign_ &&
+            (header.size & (header.size - 1)) == 0 &&
+            data + header.size <= logRegion_;
+        if (!size_valid || (header.state != 0 && header.state != 1))
+            break;
+        if (header.state == 0) {
+            freeLists_[sizeClass(header.size)].push_back(data);
+        } else {
+            heapUsed_ += header.size;
+        }
+        slot = (data + header.size + allocAlign_ - 1) &
+               ~Addr(allocAlign_ - 1);
+    }
+    bump_ = slot;
 }
 
 Addr
@@ -198,6 +254,10 @@ PmemPool::writeBytes(Addr addr, const void *data, std::size_t size,
 void
 PmemPool::readBytes(Addr addr, void *out, std::size_t size) const
 {
+    // Reads are not instrumented as events, but the runtime's read
+    // tracker (when installed by the model checker) records the lines
+    // a recovery execution depends on.
+    runtime_.noteRead(addr, size);
     device_->read(addr, out, size);
 }
 

@@ -71,6 +71,16 @@ class PmemPool
              const std::string &name = "pool",
              bool track_persistence = true);
 
+    /**
+     * Reopen a pool from a crash image: the device starts with
+     * @p image as both its volatile and durable content, modelling a
+     * real PM file mapped back after a failure. Call root() (with the
+     * original root size) and then recoverHeap() before allocating.
+     */
+    PmemPool(PmRuntime &runtime, std::vector<std::uint8_t> image,
+             const std::string &name = "pool",
+             bool track_persistence = true);
+
     ~PmemPool();
 
     PmemPool(const PmemPool &) = delete;
@@ -122,6 +132,17 @@ class PmemPool
 
     /** Bytes of heap currently handed out. */
     std::size_t heapUsed() const { return heapUsed_; }
+
+    /**
+     * Rebuild the volatile allocator state (bump pointer, free lists)
+     * from the durable block headers of a reopened pool. Allocation is
+     * sequential and every header is persisted before its block is
+     * handed out, so only the youngest block can have a torn or absent
+     * header — the scan stops at the first invalid one, reclaiming
+     * everything behind it. Requires root() to have been called with
+     * the original root size (the heap base must match).
+     */
+    void recoverHeap();
 
     /** @} */
 

@@ -249,6 +249,56 @@ TxRecovery::logRegionOf(const PmemPool &pool)
 }
 
 std::vector<TxRecovery::RecoveredEntry>
+TxRecovery::recoverPool(PmemPool &pool)
+{
+    std::vector<RecoveredEntry> recovered;
+    const Addr log_base = pool.logRegion_;
+    const std::size_t region_size = pool.logRegionSize_;
+
+    std::uint64_t log_bytes = pool.load<std::uint64_t>(log_base);
+    if (log_bytes > region_size - logHeaderBytes)
+        log_bytes = 0; // corrupt length word: nothing to roll back
+    if (log_bytes == 0)
+        return recovered;
+
+    // Restore intact entries in log order (rollbackImage semantics),
+    // flushing each restored range; one fence drains them together.
+    std::size_t off = 0;
+    bool restored_any = false;
+    while (off + sizeof(TxLogEntryHeader) <= log_bytes) {
+        const Addr entry_addr = log_base + logHeaderBytes + off;
+        const auto header = pool.load<TxLogEntryHeader>(entry_addr);
+        if (header.size == 0 ||
+            entry_addr + sizeof(header) + header.size >
+                log_base + region_size) {
+            break;
+        }
+        std::vector<std::uint8_t> old_data(header.size);
+        pool.readBytes(entry_addr + sizeof(header), old_data.data(),
+                       header.size);
+        const bool ok =
+            entryChecksum(header, old_data.data()) == header.checksum;
+        if (ok) {
+            pool.writeBytes(header.objAddr, old_data.data(), header.size);
+            pool.flush(header.objAddr, header.size);
+            restored_any = true;
+        }
+        recovered.push_back({header.objAddr, header.size, ok});
+        off += alignUp8(sizeof(header) + header.size);
+    }
+    if (restored_any)
+        pool.fence();
+
+    // Truncate the log only after the restores are durable, so a crash
+    // anywhere inside recovery leaves either a valid log or a fully
+    // rolled-back image.
+    const std::uint64_t zero = 0;
+    pool.writeBytes(log_base, &zero, sizeof(zero));
+    pool.persist(log_base, sizeof(zero));
+    return recovered;
+}
+
+std::vector<TxRecovery::RecoveredEntry>
 TxRecovery::rollbackImage(Addr log_base, std::size_t log_region_size,
                           std::vector<std::uint8_t> &image)
 {

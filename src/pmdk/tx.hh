@@ -146,6 +146,20 @@ class TxRecovery
 
     /** Capture @p pool's log-region location by value. */
     static TxLogRegion logRegionOf(const PmemPool &pool);
+
+    /**
+     * Instrumented in-place recovery of a reopened pool (the rollback
+     * a real pmemobj_open performs): scan the undo log through the
+     * pool's read path, restore every checksum-intact entry with
+     * persisted stores, then truncate the log. Restores are made
+     * durable *before* the truncation (two drains) — if recovery
+     * itself crashes, either the log is still valid and a rerun
+     * redoes the idempotent rollback, or every restore has landed.
+     * Unlike rollbackImage() this emits the full store/CLF/fence
+     * stream, so recovery becomes an execution the model checker can
+     * crash again.
+     */
+    static std::vector<RecoveredEntry> recoverPool(PmemPool &pool);
 };
 
 /** FNV-1a checksum used for log-entry integrity. */

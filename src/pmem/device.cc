@@ -13,6 +13,11 @@ PmemDevice::PmemDevice(std::size_t size)
 {
 }
 
+PmemDevice::PmemDevice(std::vector<std::uint8_t> image)
+    : volatileImage_(image), persistedImage_(std::move(image))
+{
+}
+
 PmemDevice::~PmemDevice()
 {
     if (observer_)

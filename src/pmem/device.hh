@@ -86,6 +86,14 @@ class PmemDevice : public TraceSink
     /** Create a device of @p size bytes, zero-initialized. */
     explicit PmemDevice(std::size_t size);
 
+    /**
+     * Create a device whose volatile and durable images both start as
+     * @p image — reopening a pool from a crash image, the way a real
+     * PM file is mapped back after a failure. The device starts clean
+     * (no dirty lines, no pending writebacks, epoch depth 0).
+     */
+    explicit PmemDevice(std::vector<std::uint8_t> image);
+
     ~PmemDevice() override;
 
     std::size_t size() const { return volatileImage_.size(); }

@@ -1,0 +1,26 @@
+#include "trace/read_set.hh"
+
+namespace pmdb
+{
+
+void
+ReadSet::note(Addr addr, std::size_t size)
+{
+    if (size == 0)
+        return;
+    const std::uint64_t first = cacheLineIndex(addr);
+    const std::uint64_t last = cacheLineIndex(addr + size - 1);
+    for (std::uint64_t line = first; line <= last; ++line)
+        lines_.insert(line);
+}
+
+bool
+ReadSet::merge(const ReadSet &other)
+{
+    bool grew = false;
+    for (std::uint64_t line : other.lines_)
+        grew |= lines_.insert(line).second;
+    return grew;
+}
+
+} // namespace pmdb

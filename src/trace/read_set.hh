@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cache-line read-set annotation for recovery executions.
+ *
+ * The crash-state model checker (src/modelcheck) prunes candidate
+ * crash images Jaaru-style: a candidate whose durable content differs
+ * from an already-executed representative only on lines the
+ * representative's recovery never *read* must drive recovery through
+ * the identical decision sequence, so it needs no execution of its
+ * own. That argument needs the read set of each recovery execution at
+ * cache-line granularity — PmRuntime::setReadTracker() installs one of
+ * these and every instrumented pool read (PmemPool::readBytes) lands
+ * here.
+ *
+ * The set deliberately over-approximates: every read is recorded, even
+ * of bytes the program itself wrote earlier in the same execution.
+ * Over-approximation only shrinks the pruned class, never its
+ * soundness.
+ */
+
+#ifndef PMDB_TRACE_READ_SET_HH
+#define PMDB_TRACE_READ_SET_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmdb
+{
+
+/** Set of cache-line indices an execution has read. */
+class ReadSet
+{
+  public:
+    /** Record a read of [addr, addr+size). */
+    void note(Addr addr, std::size_t size);
+
+    bool contains(std::uint64_t line) const
+    {
+        return lines_.count(line) != 0;
+    }
+
+    std::size_t size() const { return lines_.size(); }
+    bool empty() const { return lines_.empty(); }
+
+    const std::unordered_set<std::uint64_t> &lines() const
+    {
+        return lines_;
+    }
+
+    /** Merge another read set into this one; true if lines were new. */
+    bool merge(const ReadSet &other);
+
+    void clear() { lines_.clear(); }
+
+  private:
+    std::unordered_set<std::uint64_t> lines_;
+};
+
+} // namespace pmdb
+
+#endif // PMDB_TRACE_READ_SET_HH

@@ -57,6 +57,7 @@
 
 #include "trace/batch.hh"
 #include "trace/event.hh"
+#include "trace/read_set.hh"
 #include "trace/sink.hh"
 
 namespace pmdb
@@ -213,6 +214,30 @@ class PmRuntime
 
     /** @} */
 
+    /** @name Read-set annotation (crash-state model checking). */
+    /** @{ */
+
+    /**
+     * Install (or remove, with nullptr) a read-set tracker. While one
+     * is installed, instrumented reads (PmemPool::readBytes) record
+     * the cache lines they touch — the model checker uses the recovery
+     * execution's read set to prune crash candidates that cannot
+     * change recovery's behavior. Reads are not events: they carry no
+     * sequence number and are never dispatched to sinks (matching the
+     * paper's load-free instrumentation).
+     */
+    void setReadTracker(ReadSet *tracker) { readTracker_ = tracker; }
+
+    /** Record a read of [addr, addr+size); no-op without a tracker. */
+    void
+    noteRead(Addr addr, std::size_t size)
+    {
+        if (readTracker_)
+            readTracker_->note(addr, size);
+    }
+
+    /** @} */
+
     /** Total events dispatched so far. */
     SeqNum eventCount() const { return seq_; }
 
@@ -289,6 +314,9 @@ class PmRuntime
 
     bool threadSafe_ = false;
     std::mutex mutex_;
+
+    /** Non-owning read-set tracker; null outside model-check runs. */
+    ReadSet *readTracker_ = nullptr;
 };
 
 } // namespace pmdb

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the crash-state model checker (src/modelcheck/): the
+ * persistent visited-state cache (round-trip, merge-on-load, corrupt
+ * rejection, resume semantics), worker-count and rerun determinism of
+ * the frontier search, read-set pruning not masking findings, and the
+ * seeded multi-crash recovery bugs being reachable only at depth >= 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "modelcheck/engine.hh"
+#include "modelcheck/model.hh"
+#include "modelcheck/state_cache.hh"
+
+namespace pmdb
+{
+namespace
+{
+
+/** Temp-file helper that cleans up after itself. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(StateCacheTest, InsertReportsNewVersusDuplicate)
+{
+    StateCache cache;
+    EXPECT_TRUE(cache.insert(0xdeadbeefULL));
+    EXPECT_FALSE(cache.insert(0xdeadbeefULL));
+    EXPECT_TRUE(cache.insert(0xdeadbef0ULL));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.contains(0xdeadbeefULL));
+    EXPECT_FALSE(cache.contains(1ULL));
+}
+
+TEST(StateCacheTest, SaveLoadRoundTrip)
+{
+    TempPath path("mc_cache_roundtrip.bin");
+    StateCache cache;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        cache.insert(i * 0x9e3779b97f4a7c15ULL);
+    std::string err;
+    ASSERT_TRUE(cache.save(path.str(), &err)) << err;
+
+    StateCache loaded;
+    ASSERT_TRUE(loaded.load(path.str(), &err)) << err;
+    EXPECT_EQ(loaded.states(), cache.states());
+}
+
+TEST(StateCacheTest, LoadMergesIntoExistingStates)
+{
+    TempPath path("mc_cache_merge.bin");
+    StateCache first;
+    first.insert(1);
+    first.insert(2);
+    ASSERT_TRUE(first.save(path.str()));
+
+    StateCache merged;
+    merged.insert(2);
+    merged.insert(3);
+    ASSERT_TRUE(merged.load(path.str()));
+    EXPECT_EQ(merged.size(), 3u);
+    EXPECT_TRUE(merged.contains(1));
+    EXPECT_TRUE(merged.contains(3));
+}
+
+TEST(StateCacheTest, MissingFileIsAFreshStart)
+{
+    TempPath path("mc_cache_missing.bin");
+    StateCache cache;
+    std::string err;
+    EXPECT_TRUE(cache.load(path.str(), &err)) << err;
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StateCacheTest, RejectsForeignAndTruncatedFiles)
+{
+    TempPath path("mc_cache_bad.bin");
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "NOTACACHEFILE";
+    }
+    StateCache cache;
+    cache.insert(7);
+    std::string err;
+    EXPECT_FALSE(cache.load(path.str(), &err));
+    EXPECT_FALSE(err.empty());
+    // A rejected load leaves the set unchanged.
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Valid header, count promising more states than the file holds.
+    {
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::trunc);
+        const std::uint64_t count = 1000;
+        out.write("PMDBMCC1", 8);
+        out.write(reinterpret_cast<const char *>(&count), 8);
+        const std::uint64_t one = 1;
+        out.write(reinterpret_cast<const char *>(&one), 8);
+    }
+    EXPECT_FALSE(cache.load(path.str(), &err));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+ModelCheckOptions
+smallSearch(std::size_t depth)
+{
+    ModelCheckOptions options;
+    options.run.operations = 3;
+    options.run.recoveryOperations = 1;
+    options.run.seed = 42;
+    options.maxDepth = depth;
+    options.maxStates = 4096;
+    return options;
+}
+
+ModelCheckResult
+runSearch(const std::string &workload, bool buggy,
+          ModelCheckOptions options)
+{
+    auto model = makeModelWorkload(workload, buggy);
+    EXPECT_NE(model, nullptr) << workload;
+    ModelChecker checker(*model, options);
+    return checker.run();
+}
+
+TEST(ModelCheckerTest, ResultsBitIdenticalAcrossWorkerCounts)
+{
+    ModelCheckOptions options = smallSearch(2);
+    options.workers = 1;
+    const ModelCheckResult one = runSearch("hashmap_atomic", false,
+                                           options);
+    EXPECT_GT(one.stats.distinctStates, 0u);
+
+    options.workers = 2;
+    const ModelCheckResult two = runSearch("hashmap_atomic", false,
+                                           options);
+    options.workers = 4;
+    const ModelCheckResult four = runSearch("hashmap_atomic", false,
+                                            options);
+
+    EXPECT_TRUE(one.identicalTo(two));
+    EXPECT_TRUE(one.identicalTo(four));
+    EXPECT_EQ(one.frontierHash, four.frontierHash);
+}
+
+TEST(ModelCheckerTest, RerunWithSameConfigIsDeterministic)
+{
+    const ModelCheckOptions options = smallSearch(2);
+    const ModelCheckResult first = runSearch("b_tree", false, options);
+    const ModelCheckResult second = runSearch("b_tree", false, options);
+    EXPECT_TRUE(first.identicalTo(second));
+}
+
+TEST(ModelCheckerTest, PersistedCacheMakesRerunsIncremental)
+{
+    TempPath path("mc_cache_resume.bin");
+    ModelCheckOptions options = smallSearch(2);
+    options.cachePath = path.str();
+
+    const ModelCheckResult first = runSearch("hashmap_atomic", false,
+                                             options);
+    EXPECT_GT(first.stats.distinctStates, 0u);
+    EXPECT_EQ(first.cacheStates, first.stats.distinctStates);
+
+    // Same search against the persisted cache: every candidate is a
+    // cache hit, so only the initial execution runs and no new states
+    // are visited.
+    const ModelCheckResult second = runSearch("hashmap_atomic", false,
+                                              options);
+    EXPECT_EQ(second.stats.distinctStates, 0u);
+    EXPECT_EQ(second.stats.executions, 1u);
+    EXPECT_EQ(second.cacheStates, first.cacheStates);
+    EXPECT_TRUE(second.findings.empty());
+}
+
+TEST(ModelCheckerTest, StateBudgetStopsTheSearch)
+{
+    ModelCheckOptions options = smallSearch(2);
+    options.maxStates = 4;
+    const ModelCheckResult result = runSearch("hashmap_atomic", false,
+                                              options);
+    EXPECT_TRUE(result.stats.budgetExhausted);
+    EXPECT_EQ(result.stats.distinctStates, 4u);
+}
+
+TEST(ModelCheckerTest, EnumerationBoundsSurfaceAsTruncatedPoints)
+{
+    ModelCheckOptions options = smallSearch(1);
+    options.run.sim.maxImagesPerPoint = 2;
+    const ModelCheckResult result = runSearch("hashmap_atomic", false,
+                                              options);
+    EXPECT_GT(result.stats.truncatedPoints, 0u);
+}
+
+TEST(ModelCheckerTest, SeededRecoveryBugsNeedDepthTwo)
+{
+    for (const ModelCheckCase &mc_case : modelcheckOnlyCases()) {
+        SCOPED_TRACE(mc_case.name);
+        ModelCheckOptions options = smallSearch(mc_case.depth);
+
+        const ModelCheckResult buggy = runSearch(mc_case.name, true,
+                                                 options);
+        ASSERT_FALSE(buggy.findings.empty());
+        for (const ModelCheckFinding &finding : buggy.findings) {
+            EXPECT_GE(finding.depth, 2u);
+            EXPECT_EQ(finding.crashSeqs.size(), finding.depth);
+        }
+
+        // One crash deep — what crashsim-with-recovery can reach —
+        // the trigger state does not exist yet.
+        const ModelCheckResult shallow =
+            runSearch(mc_case.name, true, smallSearch(1));
+        EXPECT_TRUE(shallow.findings.empty());
+
+        // The corrected recovery path survives the same search.
+        const ModelCheckResult fixed = runSearch(mc_case.name, false,
+                                                 options);
+        EXPECT_TRUE(fixed.findings.empty());
+    }
+}
+
+TEST(ModelCheckerTest, PruningDoesNotMaskSeededBugs)
+{
+    for (const ModelCheckCase &mc_case : modelcheckOnlyCases()) {
+        SCOPED_TRACE(mc_case.name);
+        ModelCheckOptions options = smallSearch(mc_case.depth);
+        options.prune = true;
+        const ModelCheckResult pruned = runSearch(mc_case.name, true,
+                                                  options);
+        options.prune = false;
+        const ModelCheckResult full = runSearch(mc_case.name, true,
+                                                options);
+        ASSERT_FALSE(pruned.findings.empty());
+        ASSERT_FALSE(full.findings.empty());
+        // Every pruned-run verdict is also found by the full run.
+        for (const ModelCheckFinding &finding : pruned.findings) {
+            bool matched = false;
+            for (const ModelCheckFinding &other : full.findings)
+                matched |= other.detail == finding.detail;
+            EXPECT_TRUE(matched) << finding.detail;
+        }
+    }
+}
+
+TEST(ModelCheckerTest, PruningOnlySkipsWork)
+{
+    ModelCheckOptions options = smallSearch(2);
+    options.run.operations = 4;
+    options.prune = false;
+    const ModelCheckResult full = runSearch("hashmap_atomic", false,
+                                            options);
+    options.prune = true;
+    const ModelCheckResult pruned = runSearch("hashmap_atomic", false,
+                                              options);
+    EXPECT_EQ(full.stats.prunedCandidates, 0u);
+    EXPECT_GT(pruned.stats.prunedCandidates, 0u)
+        << "hashmap_atomic recovery never reads the audit line, so "
+           "candidates differing only there must be pruned";
+    EXPECT_LT(pruned.stats.executions, full.stats.executions);
+    // Pruned states still count as visited.
+    EXPECT_GT(pruned.stats.distinctStates, 0u);
+}
+
+} // namespace
+} // namespace pmdb

@@ -361,6 +361,10 @@ concurrentSuiteIdentity(std::size_t shards, std::size_t clients)
             << ") at " << shards << " shard(s), " << clients
             << " concurrent clients";
     }
+    // The finalize worker sends a session's Report to the client
+    // before appending its summary, so the last summary can trail the
+    // last client's return — wait instead of sampling.
+    EXPECT_TRUE(daemon.waitForSessions(suite.size(), 10000));
     EXPECT_EQ(daemon.completedSessions(), suite.size());
     daemon.stop();
 }
@@ -465,6 +469,8 @@ TEST(ServiceTest, TwoConcurrentClientsGetTheirOwnReports)
     EXPECT_TRUE(sameBugs(local_a, remote_a)) << "client A";
     EXPECT_TRUE(sameBugs(local_b, remote_b)) << "client B";
 
+    // Summaries are appended after the Report reaches the client.
+    EXPECT_TRUE(daemon.waitForSessions(2, 10000));
     const std::vector<SessionSummary> sessions = daemon.summaries();
     ASSERT_EQ(sessions.size(), 2u);
     EXPECT_NE(sessions[0].id, sessions[1].id);
@@ -645,6 +651,8 @@ TEST(ServiceTest, IngestCountersSurfaceInSummariesAndJson)
     ReportBody report;
     ASSERT_TRUE(sink.finish(&report, &error)) << error;
 
+    // Summaries are appended after the Report reaches the client.
+    EXPECT_TRUE(daemon.waitForSessions(1, 10000));
     const std::vector<SessionSummary> sessions = daemon.summaries();
     ASSERT_EQ(sessions.size(), 1u);
     EXPECT_GT(sessions[0].batchesDrained, 0u);

@@ -23,7 +23,11 @@
  *
  * Exit codes: 0 success (run mode: also when findings exist — the
  * report is the product), 1 a case behaved unexpectedly (missed bug or
- * false positive), 2 usage error, 3 unknown case/workload name.
+ * false positive), 2 usage error, 3 unknown case/workload name,
+ * 5 (run mode) the image budget truncated enumeration at one or more
+ * crash points — the explored set is a sample, not the full reachable
+ * crash-state space; rerun with a larger --max-images/--max-pending
+ * for exhaustive coverage.
  */
 
 #include <cstdio>
@@ -39,6 +43,8 @@ namespace
 
 constexpr int exitUsage = 2;
 constexpr int exitUnknownName = 3;
+/** Run-mode: the bounds cut enumeration short (coverage incomplete). */
+constexpr int exitTruncatedEnumeration = 5;
 
 int
 usage(const char *argv0)
@@ -89,8 +95,8 @@ void
 printStats(const pmdb::CrashsimStats &stats, double seconds,
            const char *indent)
 {
-    std::printf("%s%llu crash points (%llu epoch-coalesced), "
-                "%llu pending lines\n"
+    std::printf("%s%llu crash points (%llu epoch-coalesced, "
+                "%llu truncated by bounds), %llu pending lines\n"
                 "%s%llu images enumerated, %llu deduped, "
                 "%llu verified, %llu minimize verifies\n"
                 "%s%.4fs explore (%.0f points/s)\n",
@@ -98,6 +104,7 @@ printStats(const pmdb::CrashsimStats &stats, double seconds,
                 static_cast<unsigned long long>(stats.points),
                 static_cast<unsigned long long>(
                     stats.epochCoalescedPoints),
+                static_cast<unsigned long long>(stats.truncatedPoints),
                 static_cast<unsigned long long>(stats.pendingLines),
                 indent,
                 static_cast<unsigned long long>(stats.imagesEnumerated),
@@ -227,8 +234,10 @@ main(int argc, char **argv)
         if (json) {
             std::printf(
                 "{\"workload\": \"%s\", \"ops\": %zu, "
+                "\"seed\": %llu, "
                 "\"crash_points\": %llu, "
                 "\"epoch_coalesced_points\": %llu, "
+                "\"truncated_points\": %llu, "
                 "\"pending_lines\": %llu, "
                 "\"images_enumerated\": %llu, "
                 "\"images_deduped\": %llu, "
@@ -236,9 +245,12 @@ main(int argc, char **argv)
                 "\"findings\": %zu, "
                 "\"explore_seconds\": %.6f}\n",
                 target.c_str(), wl_options.operations,
+                static_cast<unsigned long long>(options.seed),
                 static_cast<unsigned long long>(result.stats.points),
                 static_cast<unsigned long long>(
                     result.stats.epochCoalescedPoints),
+                static_cast<unsigned long long>(
+                    result.stats.truncatedPoints),
                 static_cast<unsigned long long>(
                     result.stats.pendingLines),
                 static_cast<unsigned long long>(
@@ -249,13 +261,18 @@ main(int argc, char **argv)
                     result.stats.imagesVerified),
                 result.findings.size(), result.exploreSeconds);
         } else {
-            std::printf("%s (%zu ops): %zu finding(s)\n",
+            // Echo the schedule seed so a truncated (sampled) run's
+            // exact exploration can be reproduced from the report.
+            std::printf("%s (%zu ops, seed %llu): %zu finding(s)\n",
                         target.c_str(), wl_options.operations,
+                        static_cast<unsigned long long>(options.seed),
                         result.findings.size());
             printFindings(result, "  ");
             printStats(result.stats, result.exploreSeconds, "  ");
         }
-        return 0;
+        return result.stats.truncatedPoints > 0
+                   ? exitTruncatedEnumeration
+                   : 0;
     }
 
     return usage(argv[0]);

@@ -230,6 +230,21 @@ cmdInfo(int argc, char **argv)
                         static_cast<unsigned long long>(counts[k]));
         }
     }
+    // Structural crash-surface summary: where a crash-state
+    // exploration could cut this trace (per-boundary histogram) and
+    // how many candidate images a bounded enumeration would cover.
+    const CrashScanSummary scan = scanCrashPoints(trace.events);
+    std::printf("crash surface:\n");
+    const std::string scan_text = scan.toString();
+    std::size_t at = 0;
+    while (at < scan_text.size()) {
+        std::size_t end = scan_text.find('\n', at);
+        if (end == std::string::npos)
+            end = scan_text.size();
+        std::printf("  %s\n",
+                    scan_text.substr(at, end - at).c_str());
+        at = end + 1;
+    }
     std::printf("  truncated      %s\n", truncated ? "yes" : "no");
     if (truncated) {
         std::fprintf(stderr,
