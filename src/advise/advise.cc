@@ -1,0 +1,250 @@
+#include "advise/advise.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace pmdb
+{
+
+const char *
+toString(AdviceOp op)
+{
+    switch (op) {
+      case AdviceOp::InsertFlush: return "insert-flush";
+      case AdviceOp::InsertFence: return "insert-fence";
+      case AdviceOp::DeleteFlush: return "delete-flush";
+      case AdviceOp::DeleteFence: return "delete-fence";
+      case AdviceOp::DeleteLog:   return "delete-log";
+    }
+    return "unknown";
+}
+
+bool
+isDeletionAdvice(AdviceOp op)
+{
+    switch (op) {
+      case AdviceOp::DeleteFlush:
+      case AdviceOp::DeleteFence:
+      case AdviceOp::DeleteLog:
+        return true;
+      default:
+        return false;
+    }
+}
+
+AdviceOp
+adviceOpOf(const TraceEdit &edit)
+{
+    const bool insert = edit.op == TraceEdit::Op::Insert;
+    switch (edit.event.kind) {
+      case EventKind::Flush:
+        return insert ? AdviceOp::InsertFlush : AdviceOp::DeleteFlush;
+      case EventKind::Fence:
+        return insert ? AdviceOp::InsertFence : AdviceOp::DeleteFence;
+      case EventKind::TxLog:
+        if (!insert)
+            return AdviceOp::DeleteLog;
+        break;
+      default:
+        break;
+    }
+    panic(std::string("adviceOpOf: unexpected ") +
+          (insert ? "insert of " : "delete of ") +
+          toString(edit.event.kind));
+}
+
+std::string
+FixAdvisory::headline() const
+{
+    std::string what;
+    switch (op) {
+      case AdviceOp::InsertFlush:
+        what = "insert CLWB after store";
+        break;
+      case AdviceOp::InsertFence:
+        what = "insert SFENCE";
+        break;
+      case AdviceOp::DeleteFlush:
+        what = "delete redundant CLWB";
+        break;
+      case AdviceOp::DeleteFence:
+        what = "delete redundant SFENCE";
+        break;
+      case AdviceOp::DeleteLog:
+        what = "delete redundant log append";
+        break;
+    }
+    return what + " at " + site + " [" + toString(rule) +
+           "], confirmed in " + std::to_string(confirmations) + "/" +
+           std::to_string(opportunities) + " traces";
+}
+
+std::map<std::string, std::uint64_t>
+siteEventCounts(const LoadedTrace &trace)
+{
+    std::map<std::string, std::uint64_t> counts;
+    for (const Event &event : trace.events) {
+        if (event.kind == EventKind::RegisterPmem ||
+            event.nameId == noName ||
+            event.nameId >= trace.names.size()) {
+            continue;
+        }
+        ++counts[trace.names.name(event.nameId)];
+    }
+    return counts;
+}
+
+std::string
+resolveSite(const LoadedTrace &trace, const TraceEdit &edit)
+{
+    if (edit.siteId != noName && edit.siteId < trace.names.size())
+        return trace.names.name(edit.siteId);
+
+    // Unannotated trace: fall back to the registration in effect at the
+    // edit's anchor that covers its address — "region+0xoff" is stable
+    // across runs as long as allocation order is.
+    const Addr addr = edit.event.addr;
+    if (addr != 0) {
+        const Event *region = nullptr;
+        for (const Event &event : trace.events) {
+            if (edit.anchorSeq && event.seq > edit.anchorSeq)
+                break;
+            if (event.kind == EventKind::RegisterPmem &&
+                event.range().contains(addr)) {
+                region = &event;
+            }
+        }
+        if (region && region->nameId < trace.names.size()) {
+            char off[32];
+            std::snprintf(off, sizeof(off), "+0x%llx",
+                          static_cast<unsigned long long>(
+                              addr - region->addr));
+            return trace.names.name(region->nameId) + off;
+        }
+    }
+    return "(anonymous)";
+}
+
+std::vector<FixAdvisory>
+clusterAdvisories(const std::vector<TraceOutcome> &outcomes)
+{
+    // Cluster key → advisory under construction. std::map keeps the
+    // pre-sort order deterministic.
+    using Key = std::tuple<std::string, int, int>;
+    std::map<Key, FixAdvisory> clusters;
+
+    for (const TraceOutcome &outcome : outcomes) {
+        if (!outcome.verified)
+            continue;
+        // Which keys this trace confirms (a patch may carry several
+        // edits of the same key — one confirmation, several edits).
+        std::map<Key, bool> seen;
+        for (const SiteEdit &edit : outcome.edits) {
+            const Key key{edit.site, static_cast<int>(edit.op),
+                          static_cast<int>(edit.rule)};
+            FixAdvisory &advisory = clusters[key];
+            if (advisory.site.empty()) {
+                advisory.site = edit.site;
+                advisory.op = edit.op;
+                advisory.rule = edit.rule;
+                advisory.performance = isDeletionAdvice(edit.op);
+                advisory.example = edit.note;
+            }
+            ++advisory.editCount;
+            if (isDeletionAdvice(edit.op)) {
+                switch (edit.op) {
+                  case AdviceOp::DeleteFlush: ++advisory.savedFlushes;
+                      break;
+                  case AdviceOp::DeleteFence: ++advisory.savedFences;
+                      break;
+                  default: ++advisory.savedLogs;
+                      break;
+                }
+            }
+            if (!seen[key]) {
+                seen[key] = true;
+                ++advisory.confirmations;
+            }
+        }
+    }
+
+    // Opportunity and counter-evidence pass: every trace where the
+    // site executed weighs in, whether or not it needed the patch.
+    for (auto &[key, advisory] : clusters) {
+        for (const TraceOutcome &outcome : outcomes) {
+            if (!outcome.siteEvents.count(advisory.site))
+                continue;
+            ++advisory.opportunities;
+            bool confirmed = false;
+            if (outcome.verified) {
+                for (const SiteEdit &edit : outcome.edits) {
+                    if (edit.site == advisory.site &&
+                        edit.op == advisory.op &&
+                        edit.rule == advisory.rule) {
+                        confirmed = true;
+                        break;
+                    }
+                }
+            }
+            if (confirmed)
+                continue;
+            if (outcome.targetPresent && !outcome.verified)
+                ++advisory.counterUnverified;
+            else
+                ++advisory.counterNoPatch;
+        }
+        // Fallback site labels may never appear as event sites; a
+        // confirmation is itself proof the site executed.
+        if (advisory.opportunities < advisory.confirmations)
+            advisory.opportunities = advisory.confirmations;
+        advisory.confidence =
+            advisory.opportunities
+                ? static_cast<double>(advisory.confirmations) /
+                      static_cast<double>(advisory.opportunities)
+                : 0.0;
+    }
+
+    std::vector<FixAdvisory> ranked;
+    ranked.reserve(clusters.size());
+    for (auto &[key, advisory] : clusters)
+        ranked.push_back(std::move(advisory));
+    std::sort(ranked.begin(), ranked.end(),
+              [](const FixAdvisory &a, const FixAdvisory &b) {
+                  if (a.confidence != b.confidence)
+                      return a.confidence > b.confidence;
+                  if (a.confirmations != b.confirmations)
+                      return a.confirmations > b.confirmations;
+                  return std::tie(a.site, a.op, a.rule) <
+                         std::tie(b.site, b.op, b.rule);
+              });
+    return ranked;
+}
+
+std::vector<FixAdvisory>
+optimizeView(const std::vector<FixAdvisory> &advisories)
+{
+    std::vector<FixAdvisory> perf;
+    for (const FixAdvisory &advisory : advisories) {
+        if (advisory.performance)
+            perf.push_back(advisory);
+    }
+    std::sort(perf.begin(), perf.end(),
+              [](const FixAdvisory &a, const FixAdvisory &b) {
+                  const std::uint64_t sa =
+                      a.savedFlushes + a.savedFences + a.savedLogs;
+                  const std::uint64_t sb =
+                      b.savedFlushes + b.savedFences + b.savedLogs;
+                  if (sa != sb)
+                      return sa > sb;
+                  if (a.confidence != b.confidence)
+                      return a.confidence > b.confidence;
+                  return std::tie(a.site, a.op, a.rule) <
+                         std::tie(b.site, b.op, b.rule);
+              });
+    return perf;
+}
+
+} // namespace pmdb

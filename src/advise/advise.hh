@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Whole-program fix advisories: cluster verified per-trace repairs into
+ * ranked per-site advice.
+ *
+ * The repair engine (src/repair/) patches exactly one recorded trace.
+ * This module lifts those patches to the *program* level, the way
+ * program-repair systems ("Automated Insertion of Flushes and Fences
+ * for Persistency") and flush/fence optimizers (Bentō) operate: record
+ * many traces of the same workload under varied seeds, thread counts
+ * and YCSB mixes, repair each one, map every verified TraceEdit back to
+ * its stable program site (the SiteScope names interned in the trace),
+ * and cluster the edits by (site, op, rule). A site whose patch recurs
+ * across the whole corpus — "insert CLWB after store at
+ * hashmap_atomic.cc:insert.fill_entry, confirmed in 6/6 traces" — is a
+ * durable one-line program fix, not a trace accident. Counter-evidence
+ * (traces where the site executed but needed no patch, or whose repair
+ * failed verification) lowers the advisory's confidence score.
+ */
+
+#ifndef PMDB_ADVISE_ADVISE_HH
+#define PMDB_ADVISE_ADVISE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bug.hh"
+#include "repair/patch.hh"
+#include "trace/trace_file.hh"
+
+namespace pmdb
+{
+
+/** The program-level operation a fix advisory recommends. */
+enum class AdviceOp : std::uint8_t
+{
+    /** Add a CLWB of the repaired range (durability fix). */
+    InsertFlush,
+    /** Add an SFENCE at the violated boundary (ordering fix). */
+    InsertFence,
+    /** Remove a redundant CLWB (performance fix). */
+    DeleteFlush,
+    /** Remove a redundant SFENCE (performance fix). */
+    DeleteFence,
+    /** Remove a redundant undo-log append (performance fix). */
+    DeleteLog,
+};
+
+/** Stable kebab-case name ("insert-flush"), used in reports and JSON. */
+const char *toString(AdviceOp op);
+
+/** True for the deletion (Bentō-style performance) advice ops. */
+bool isDeletionAdvice(AdviceOp op);
+
+/** Map a trace edit to its advisory op. */
+AdviceOp adviceOpOf(const TraceEdit &edit);
+
+/** One verified per-trace edit resolved to its program site. */
+struct SiteEdit
+{
+    std::string site;
+    AdviceOp op = AdviceOp::InsertFlush;
+    BugType rule = BugType::NoDurability;
+    /** The repair engine's advisory line for this edit. */
+    std::string note;
+};
+
+/** Per-trace repair outcome: one corpus member's evidence. */
+struct TraceOutcome
+{
+    /** Deterministic parameter label ("seed=9,threads=2,mix=b"). */
+    std::string label;
+    /** The target bug reproduced on this trace. */
+    bool targetPresent = false;
+    /** The repair verified under the full PR-4 contract. */
+    bool verified = false;
+    /** Target fingerprint string (empty when not reproduced). */
+    std::string target;
+    /** Winning repair strategy line. */
+    std::string strategy;
+    /** Site-resolved edits of the verified patch. */
+    std::vector<SiteEdit> edits;
+    /**
+     * Events per program site in the *recorded* trace — the advisory
+     * clusterer's opportunity evidence: a site that executed in a
+     * trace whose repair needed no patch there is counter-evidence.
+     */
+    std::map<std::string, std::uint64_t> siteEvents;
+    /** Recorded trace length. */
+    std::size_t traceEvents = 0;
+    /** Witness length repair ran on (0 = repaired the full trace). */
+    std::size_t minimizedEvents = 0;
+    /** Oracle replays spent (minimize + repair). */
+    std::uint64_t replays = 0;
+};
+
+/** One ranked per-site advisory. */
+struct FixAdvisory
+{
+    std::string site;
+    AdviceOp op = AdviceOp::InsertFlush;
+    BugType rule = BugType::NoDurability;
+    /** Traces whose verified patch contains this (site,op,rule) edit. */
+    std::size_t confirmations = 0;
+    /** Traces in which the site executed at all. */
+    std::size_t opportunities = 0;
+    /** Counter-evidence: site executed, repair clean, no edit here. */
+    std::size_t counterNoPatch = 0;
+    /** Counter-evidence: site executed, repair failed verification. */
+    std::size_t counterUnverified = 0;
+    /** confirmations / opportunities. */
+    double confidence = 0.0;
+    /** Total such edits across all confirming traces. */
+    std::uint64_t editCount = 0;
+    /** Estimated flushes saved across the corpus (deletion advice). */
+    std::uint64_t savedFlushes = 0;
+    /** Estimated fences saved across the corpus (deletion advice). */
+    std::uint64_t savedFences = 0;
+    /** Estimated log appends saved across the corpus. */
+    std::uint64_t savedLogs = 0;
+    /** Example repair note from one confirming trace. */
+    std::string example;
+    /** True for deletion advisories (performance fixes). */
+    bool performance = false;
+
+    /** "insert CLWB after store at <site> — confirmed in k/n traces". */
+    std::string headline() const;
+};
+
+/**
+ * Cluster verified per-trace edits by (site, op, rule) across the
+ * corpus and rank the result. Purely a function of the outcomes:
+ * confidence descending, then confirmations descending, then
+ * (site, op, rule) ascending — a total order, so the ranking is
+ * bit-identical however the outcomes were computed.
+ */
+std::vector<FixAdvisory>
+clusterAdvisories(const std::vector<TraceOutcome> &outcomes);
+
+/**
+ * Bentō-style optimization view: keep only deletion advisories and
+ * re-rank by estimated savings (flushes+fences+logs descending, then
+ * confidence, then key) — the order a developer would apply
+ * performance fixes in.
+ */
+std::vector<FixAdvisory>
+optimizeView(const std::vector<FixAdvisory> &advisories);
+
+/** Events per program site of @p trace (RegisterPmem excluded). */
+std::map<std::string, std::uint64_t>
+siteEventCounts(const LoadedTrace &trace);
+
+/**
+ * Resolve @p edit to a site label. Prefers the interned SiteScope name
+ * the edit was attributed to; traces recorded without annotations fall
+ * back to a region-relative label ("pool+0x140") from the registration
+ * covering the edit's address, or "(anonymous)".
+ */
+std::string resolveSite(const LoadedTrace &trace, const TraceEdit &edit);
+
+} // namespace pmdb
+
+#endif // PMDB_ADVISE_ADVISE_HH

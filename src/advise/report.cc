@@ -1,0 +1,142 @@
+#include "advise/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace pmdb
+{
+
+namespace
+{
+
+/** Locale-independent fixed-point rendering ("0.8571"). */
+std::string
+fixed4(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+adviseReportToJson(const AdviseReport &report)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"version\": \"" << jsonEscape(report.version) << "\",\n"
+        << "  \"case\": \"" << jsonEscape(report.caseName) << "\",\n"
+        << "  \"rule\": \"" << jsonEscape(report.rule) << "\",\n"
+        << "  \"optimize\": " << (report.optimize ? "true" : "false")
+        << ",\n"
+        << "  \"min_confidence\": " << fixed4(report.minConfidence)
+        << ",\n";
+
+    out << "  \"traces\": [";
+    for (std::size_t i = 0; i < report.traces.size(); ++i) {
+        const TraceOutcome &trace = report.traces[i];
+        out << (i ? ",\n" : "\n")
+            << "    {\"label\": \"" << jsonEscape(trace.label)
+            << "\", \"events\": " << trace.traceEvents
+            << ", \"minimized_events\": " << trace.minimizedEvents
+            << ", \"target_present\": "
+            << (trace.targetPresent ? "true" : "false")
+            << ", \"verified\": "
+            << (trace.verified ? "true" : "false")
+            << ", \"edits\": " << trace.edits.size()
+            << ", \"replays\": " << trace.replays << "}";
+    }
+    out << (report.traces.empty() ? "]" : "\n  ]") << ",\n";
+
+    out << "  \"advisories\": [";
+    for (std::size_t i = 0; i < report.advisories.size(); ++i) {
+        const FixAdvisory &advisory = report.advisories[i];
+        out << (i ? ",\n" : "\n")
+            << "    {\"rank\": " << i + 1
+            << ", \"site\": \"" << jsonEscape(advisory.site)
+            << "\", \"op\": \"" << toString(advisory.op)
+            << "\", \"rule\": \"" << toString(advisory.rule)
+            << "\", \"confidence\": " << fixed4(advisory.confidence)
+            << ", \"confirmations\": " << advisory.confirmations
+            << ", \"opportunities\": " << advisory.opportunities
+            << ", \"counter_no_patch\": " << advisory.counterNoPatch
+            << ", \"counter_unverified\": " << advisory.counterUnverified
+            << ", \"edit_count\": " << advisory.editCount
+            << ", \"saved_flushes\": " << advisory.savedFlushes
+            << ", \"saved_fences\": " << advisory.savedFences
+            << ", \"saved_logs\": " << advisory.savedLogs
+            << ", \"headline\": \"" << jsonEscape(advisory.headline())
+            << "\", \"example\": \"" << jsonEscape(advisory.example)
+            << "\"}";
+    }
+    out << (report.advisories.empty() ? "]" : "\n  ]") << "\n";
+
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+adviseReportToText(const AdviseReport &report)
+{
+    std::ostringstream out;
+    out << "advisory report (" << report.version << ") for case "
+        << report.caseName << " [" << report.rule << "]"
+        << (report.optimize ? " — optimization view" : "") << "\n";
+
+    std::size_t recorded = 0;
+    std::size_t reproduced = 0;
+    std::size_t verified = 0;
+    for (const TraceOutcome &trace : report.traces) {
+        ++recorded;
+        reproduced += trace.targetPresent;
+        verified += trace.verified;
+    }
+    out << "corpus: " << recorded << " traces, " << reproduced
+        << " reproduced the target, " << verified
+        << " repaired and verified\n";
+    for (const TraceOutcome &trace : report.traces) {
+        out << "  [" << trace.label << "] " << trace.traceEvents
+            << " events";
+        if (trace.minimizedEvents)
+            out << " (witness " << trace.minimizedEvents << ")";
+        if (!trace.targetPresent)
+            out << ", target not reproduced";
+        else if (trace.verified)
+            out << ", verified: " << trace.strategy;
+        else
+            out << ", repair NOT verified";
+        out << "\n";
+    }
+
+    if (report.advisories.empty()) {
+        out << "no advisory at or above confidence "
+            << fixed4(report.minConfidence) << "\n";
+        return out.str();
+    }
+
+    out << "advisories (ranked):\n";
+    for (std::size_t i = 0; i < report.advisories.size(); ++i) {
+        const FixAdvisory &advisory = report.advisories[i];
+        out << "  #" << i + 1 << " " << advisory.headline()
+            << " (confidence " << fixed4(advisory.confidence);
+        if (advisory.counterNoPatch || advisory.counterUnverified) {
+            out << ", counter-evidence " << advisory.counterNoPatch
+                << " clean / " << advisory.counterUnverified
+                << " unverified";
+        }
+        out << ")\n";
+        if (advisory.performance) {
+            out << "     saves ~" << advisory.savedFlushes
+                << " flushes, " << advisory.savedFences << " fences, "
+                << advisory.savedLogs << " log appends across the corpus\n";
+        }
+        if (!advisory.example.empty())
+            out << "     e.g. " << advisory.example << "\n";
+    }
+    return out.str();
+}
+
+} // namespace pmdb

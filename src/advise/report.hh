@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Advisory report rendering: versioned JSON for tooling, ranked text
+ * for humans. Both renderings are pure functions of the AdviseReport —
+ * no timestamps, worker counts or timings — so a corpus that computed
+ * identical outcomes produces byte-identical files.
+ */
+
+#ifndef PMDB_ADVISE_REPORT_HH
+#define PMDB_ADVISE_REPORT_HH
+
+#include <string>
+
+#include "advise/corpus.hh"
+
+namespace pmdb
+{
+
+/** Render @p report as a versioned JSON document. */
+std::string adviseReportToJson(const AdviseReport &report);
+
+/** Render @p report as the ranked human-readable advisory list. */
+std::string adviseReportToText(const AdviseReport &report);
+
+} // namespace pmdb
+
+#endif // PMDB_ADVISE_REPORT_HH

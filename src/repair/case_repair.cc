@@ -26,13 +26,15 @@ debuggerConfigFor(const BugCase &bug_case)
 }
 
 LoadedTrace
-recordCaseTrace(const BugCase &bug_case, bool buggy)
+recordCaseTrace(const BugCase &bug_case, bool buggy,
+                const CaseParams *params)
 {
     PmRuntime runtime;
     TraceRecorder recorder;
     runtime.attach(&recorder);
     CaseEnv env{runtime};
     env.buggy = buggy;
+    env.params = params;
     bug_case.scenario(env);
     // Most scenarios end the program themselves; close the trace for
     // the ones that do not, without doubling the marker.

@@ -33,9 +33,13 @@ DebuggerConfig debuggerConfigFor(const BugCase &bug_case);
  * Record the case's event stream with no detectors attached — the
  * trace a recorder/service deployment would hand to offline analysis.
  * Cross-failure hooks no-op when nothing is armed, so every scenario
- * runs cleanly detector-free.
+ * runs cleanly detector-free. @p params (optional) applies corpus
+ * overrides (seed / thread count / YCSB mix / operations) on top of
+ * the case's defaults; multi-threaded scenarios run thread-safe
+ * dispatch automatically.
  */
-LoadedTrace recordCaseTrace(const BugCase &bug_case, bool buggy = true);
+LoadedTrace recordCaseTrace(const BugCase &bug_case, bool buggy = true,
+                            const CaseParams *params = nullptr);
 
 /**
  * Resolve the repair target for @p trace: the first reported bug whose

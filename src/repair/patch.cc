@@ -7,18 +7,6 @@
 namespace pmdb
 {
 
-namespace
-{
-
-std::string
-hexAddr(Addr addr)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "0x%llx",
-                  static_cast<unsigned long long>(addr));
-    return buf;
-}
-
 bool
 isCorrectnessRule(BugType type)
 {
@@ -32,6 +20,18 @@ isCorrectnessRule(BugType type)
       default:
         return false;
     }
+}
+
+namespace
+{
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
 }
 
 /** Index of the event whose original seq is @p seq, or npos. */
@@ -130,8 +130,13 @@ addFlushEdits(TracePatch &patch, const std::vector<Event> &events,
         edit.event.flushKind = FlushKind::Clwb;
         edit.event.thread = like.thread;
         edit.event.strand = like.strand;
+        // The inserted flush belongs to the anchor's program site, so a
+        // later cascade deleting it still attributes correctly.
+        edit.event.nameId = like.nameId;
         edit.event.addr = base;
         edit.event.size = cacheLineSize;
+        edit.siteId = like.nameId;
+        edit.anchorSeq = like.seq;
         edit.note = "insert CLWB(" + hexAddr(base) + "," +
                     std::to_string(cacheLineSize) + "B) " +
                     anchorText(events, index);
@@ -150,6 +155,9 @@ addFenceEdit(TracePatch &patch, const std::vector<Event> &events,
     edit.event.kind = EventKind::Fence;
     edit.event.thread = like.thread;
     edit.event.strand = like.strand;
+    edit.event.nameId = like.nameId;
+    edit.siteId = like.nameId;
+    edit.anchorSeq = like.seq;
     edit.note = "insert SFENCE " + anchorText(events, index);
     patch.edits.push_back(std::move(edit));
 }
@@ -285,6 +293,10 @@ insertionCandidates(const std::vector<Event> &events,
         break;
     }
 
+    for (TracePatch &candidate : candidates) {
+        for (TraceEdit &edit : candidate.edits)
+            edit.rule = bug.type;
+    }
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const TracePatch &a, const TracePatch &b) {
                          return a.edits.size() < b.edits.size();
@@ -453,6 +465,10 @@ cascadeDeletes(std::vector<Event> &work, const ReplayOracle &oracle,
         TraceEdit edit;
         edit.op = TraceEdit::Op::Delete;
         edit.index = at;
+        edit.event = work[at];
+        edit.rule = victim->type;
+        edit.siteId = work[at].nameId;
+        edit.anchorSeq = work[at].seq;
         edit.note =
             "delete " + std::string(toString(work[at].kind)) + " (" +
             (work[at].size

@@ -48,9 +48,29 @@ struct TraceEdit
      * it.
      */
     std::size_t index = 0;
-    Event event; // Insert only
+    /** Insert: the event to add. Delete: a copy of the removed event. */
+    Event event;
     /** Human-readable advisory line ("insert CLWB(0x...) ..."). */
     std::string note;
+
+    /** @name Program-site attribution (advisory clustering). */
+    /** @{ */
+
+    /** Rule class that motivated the edit. */
+    BugType rule = BugType::NoDurability;
+    /**
+     * Interned name (in the trace's NameTable) of the anchor event's
+     * program site: for inserts, the event the edit rides next to (the
+     * last store/flush of the repaired range, the governing fence);
+     * for deletes, the deleted event itself. noName when the trace was
+     * recorded without site annotations — the advisory engine then
+     * falls back to a synthetic region-relative label.
+     */
+    std::uint32_t siteId = noName;
+    /** Original sequence number of the anchor event. */
+    SeqNum anchorSeq = 0;
+
+    /** @} */
 };
 
 /** A candidate (or final) patch: edits sorted by original index. */
@@ -109,6 +129,12 @@ struct RepairResult
  * verifiers and cannot be repaired from a trace.
  */
 bool ruleClassHasVocabulary(BugType type);
+
+/**
+ * True for rule classes repaired by insertion (correctness bugs);
+ * false for the performance rules repaired by deletion.
+ */
+bool isCorrectnessRule(BugType type);
 
 /**
  * Synthesize and verify a patch for @p target against @p trace,

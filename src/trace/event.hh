@@ -80,7 +80,13 @@ struct Event
     ThreadId thread = 0;
     /** Strand section the event belongs to; noStrand outside strands. */
     StrandId strand = noStrand;
-    /** Interned name id for RegisterPmem; noName otherwise. */
+    /**
+     * Interned name id. RegisterPmem: the registered variable's name.
+     * All other kinds: the innermost open SiteScope program site at
+     * emission time (noName outside any site). Detectors only consult
+     * it on RegisterPmem; fingerprints never include it, so annotating
+     * a workload with sites cannot change its bug fingerprints.
+     */
     std::uint32_t nameId = noName;
     Addr addr = 0;
     std::uint32_t size = 0;

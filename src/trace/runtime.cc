@@ -479,12 +479,63 @@ PmRuntime::setStrand(ThreadId thread, StrandId strand)
 }
 
 void
+PmRuntime::siteEnter(const std::string &name, ThreadId thread)
+{
+    std::uint32_t id;
+    {
+        // Worker threads open sites concurrently; interning mutates the
+        // shared NameTable and must be serialized.
+        std::lock_guard<std::mutex> lock(siteMutex_);
+        id = names_.intern(name);
+    }
+    if (thread >= 0 && thread < maxTrackedThreads) {
+        auto &slot = siteStacks_[static_cast<std::size_t>(thread)];
+        if (!slot)
+            slot = std::make_unique<std::vector<std::uint32_t>>();
+        slot->push_back(id);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(siteMutex_);
+    siteOverflow_[thread].push_back(id);
+}
+
+void
+PmRuntime::siteLeave(ThreadId thread)
+{
+    if (thread >= 0 && thread < maxTrackedThreads) {
+        auto &slot = siteStacks_[static_cast<std::size_t>(thread)];
+        if (slot && !slot->empty())
+            slot->pop_back();
+        return;
+    }
+    std::lock_guard<std::mutex> lock(siteMutex_);
+    auto it = siteOverflow_.find(thread);
+    if (it != siteOverflow_.end() && !it->second.empty())
+        it->second.pop_back();
+}
+
+std::uint32_t
+PmRuntime::siteOf(ThreadId thread) const
+{
+    if (thread >= 0 && thread < maxTrackedThreads) {
+        const auto &slot = siteStacks_[static_cast<std::size_t>(thread)];
+        return (slot && !slot->empty()) ? slot->back() : noName;
+    }
+    std::lock_guard<std::mutex> lock(siteMutex_);
+    const auto it = siteOverflow_.find(thread);
+    return (it != siteOverflow_.end() && !it->second.empty())
+               ? it->second.back()
+               : noName;
+}
+
+void
 PmRuntime::store(Addr addr, std::uint32_t size, ThreadId thread)
 {
     Event e;
     e.kind = EventKind::Store;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);
@@ -499,6 +550,7 @@ PmRuntime::flush(Addr addr, std::uint32_t size, FlushKind kind,
     e.flushKind = kind;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);
@@ -511,6 +563,7 @@ PmRuntime::fence(ThreadId thread)
     e.kind = EventKind::Fence;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     dispatch(e);
 }
 
@@ -521,6 +574,7 @@ PmRuntime::epochBegin(ThreadId thread)
     e.kind = EventKind::EpochBegin;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     dispatch(e);
 }
 
@@ -531,6 +585,7 @@ PmRuntime::epochEnd(ThreadId thread)
     e.kind = EventKind::EpochEnd;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     dispatch(e);
 }
 
@@ -542,6 +597,7 @@ PmRuntime::strandBegin(StrandId strand, ThreadId thread)
     e.kind = EventKind::StrandBegin;
     e.thread = thread;
     e.strand = strand;
+    e.nameId = siteOf(thread);
     dispatch(e);
 }
 
@@ -552,6 +608,7 @@ PmRuntime::strandEnd(StrandId strand, ThreadId thread)
     e.kind = EventKind::StrandEnd;
     e.thread = thread;
     e.strand = strand;
+    e.nameId = siteOf(thread);
     dispatch(e);
     setStrand(thread, noStrand);
 }
@@ -563,6 +620,7 @@ PmRuntime::joinStrand(ThreadId thread)
     e.kind = EventKind::JoinStrand;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     dispatch(e);
 }
 
@@ -573,6 +631,7 @@ PmRuntime::txLog(Addr addr, std::uint32_t size, ThreadId thread)
     e.kind = EventKind::TxLog;
     e.thread = thread;
     e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
     e.addr = addr;
     e.size = size;
     dispatch(e);

@@ -214,6 +214,31 @@ class PmRuntime
 
     /** @} */
 
+    /** @name Program-site annotation (fix advisories). */
+    /** @{ */
+
+    /**
+     * Enter a named program site for @p thread. While a site is open,
+     * every event the thread issues carries the site's interned name in
+     * Event::nameId (RegisterPmem keeps the variable name; ProgramEnd
+     * stays anonymous). Sites are the advisory engine's join key: a
+     * stable "file.cc:function.step" label that survives seed, thread
+     * count, and mix variation, so verified per-trace patches can be
+     * clustered back to the program location that needs the fix.
+     * Nesting is allowed; the innermost open site wins. Detectors
+     * ignore nameId on non-RegisterPmem events and fingerprints never
+     * include it, so annotating a workload changes no report.
+     */
+    void siteEnter(const std::string &name, ThreadId thread = 0);
+
+    /** Leave the innermost open site of @p thread. */
+    void siteLeave(ThreadId thread = 0);
+
+    /** Interned name of the innermost open site; noName if none. */
+    std::uint32_t siteOf(ThreadId thread) const;
+
+    /** @} */
+
     /** @name Read-set annotation (crash-state model checking). */
     /** @{ */
 
@@ -312,11 +337,51 @@ class PmRuntime
     std::unordered_map<ThreadId, StrandId> strandOverflow_;
     mutable std::mutex strandMutex_;
 
+    /**
+     * Per-thread open-site stacks (innermost last), created lazily by
+     * the owning thread. Like threadBatches_, only the OS thread
+     * driving a ThreadId touches its slot, so reads on the event path
+     * are lock-free; overflow ThreadIds share a mutex-guarded map.
+     * NameTable interning is serialized by siteMutex_ because worker
+     * threads open sites concurrently.
+     */
+    std::array<std::unique_ptr<std::vector<std::uint32_t>>,
+               maxTrackedThreads>
+        siteStacks_;
+    std::unordered_map<ThreadId, std::vector<std::uint32_t>>
+        siteOverflow_;
+    mutable std::mutex siteMutex_;
+
     bool threadSafe_ = false;
     std::mutex mutex_;
 
     /** Non-owning read-set tracker; null outside model-check runs. */
     ReadSet *readTracker_ = nullptr;
+};
+
+/**
+ * RAII guard for a program site: opens @p name on construction, closes
+ * it on destruction. The conventional label format is
+ * "file.cc:function.step" (e.g. "hashmap_atomic.cc:insert.fill_entry").
+ */
+class SiteScope
+{
+  public:
+    SiteScope(PmRuntime &runtime, const std::string &name,
+              ThreadId thread = 0)
+        : runtime_(runtime), thread_(thread)
+    {
+        runtime_.siteEnter(name, thread_);
+    }
+
+    ~SiteScope() { runtime_.siteLeave(thread_); }
+
+    SiteScope(const SiteScope &) = delete;
+    SiteScope &operator=(const SiteScope &) = delete;
+
+  private:
+    PmRuntime &runtime_;
+    ThreadId thread_;
 };
 
 } // namespace pmdb

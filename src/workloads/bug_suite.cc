@@ -14,6 +14,47 @@
 namespace pmdb
 {
 
+std::string
+CaseParams::label() const
+{
+    std::string out;
+    auto append = [&](const std::string &part) {
+        if (!out.empty())
+            out += ',';
+        out += part;
+    };
+    if (seed)
+        append("seed=" + std::to_string(seed));
+    if (threads)
+        append("threads=" + std::to_string(threads));
+    if (ycsbMix)
+        append(std::string("mix=") + ycsbMix);
+    if (operations)
+        append("ops=" + std::to_string(operations));
+    return out.empty() ? "default" : out;
+}
+
+double
+ycsbMixSetRatio(char mix)
+{
+    // The YCSB core mixes, collapsed to the single update-fraction
+    // knob the key-value workloads expose: A 50/50 update, B 95/5,
+    // C read-only, D read-latest with 5% inserts, E scan-heavy with 5%
+    // inserts, F read-modify-write (an RMW touches the store path like
+    // an update).
+    switch (mix) {
+      case 'a': return 0.5;
+      case 'b': return 0.05;
+      case 'c': return 0.0;
+      case 'd': return 0.05;
+      case 'e': return 0.05;
+      case 'f': return 0.5;
+      default:
+        panic(std::string("ycsbMixSetRatio: unknown mix '") + mix +
+              "'");
+    }
+}
+
 void
 CaseEnv::armCrossFailure(const PmemDevice &device,
                          CrossFailureChecker::Verifier verify)
@@ -84,6 +125,20 @@ wlScenario(std::string workload, std::string fault, std::size_t ops,
         options.cacheCapacity = cache_capacity;
         if (set_ratio >= 0.0)
             options.setRatio = set_ratio;
+        if (env.params) {
+            // Corpus-variation overrides: the advisory engine records
+            // the same program under many parameters and expects the
+            // fault — hence the bug's program site — to survive all of
+            // them.
+            if (env.params->seed)
+                options.seed = env.params->seed;
+            if (env.params->threads)
+                options.threads = env.params->threads;
+            if (env.params->operations)
+                options.operations = env.params->operations;
+            if (env.params->ycsbMix)
+                options.setRatio = ycsbMixSetRatio(env.params->ycsbMix);
+        }
         if (env.buggy)
             options.faults.enable(fault);
         wl->run(env.runtime, options);
@@ -891,7 +946,16 @@ buildSuite()
         bug_case.name = std::move(name);
         bug_case.expected = type;
         bug_case.model = model;
-        bug_case.scenario = std::move(scenario);
+        // Every event of a case carries at least this scenario-level
+        // program site; workload-internal SiteScopes nest inside it and
+        // win. Detectors ignore the name on non-RegisterPmem events, so
+        // reports and fingerprints are unchanged.
+        bug_case.scenario = [site_name = "bug_suite.cc:" + bug_case.name,
+                             inner =
+                                 std::move(scenario)](CaseEnv &env) {
+            SiteScope site(env.runtime, site_name);
+            inner(env);
+        };
         suite.push_back(std::move(bug_case));
         return suite.back();
     };

@@ -73,6 +73,7 @@ PersistentHashmapAtomic::PersistentHashmapAtomic(PmemPool &pool,
 
     Meta meta = pool_.load<Meta>(meta_);
     if (meta.buckets == 0) {
+        SiteScope site(pool_.runtime(), "hashmap_atomic.cc:create");
         const Addr buckets = pool_.alloc(nBuckets_ * sizeof(Addr));
 
         // The data_store.c pattern: creation runs inside a transaction.
@@ -109,6 +110,8 @@ PersistentHashmapAtomic::insert(std::uint64_t key, std::uint64_t value)
     while (cursor) {
         Entry entry = pool_.load<Entry>(cursor);
         if (entry.key == key) {
+            SiteScope site(pool_.runtime(),
+                           "hashmap_atomic.cc:insert.update_value");
             const Addr value_addr = cursor + offsetof(Entry, value);
             pool_.store<std::uint64_t>(value_addr, value);
             pool_.persist(value_addr, sizeof(std::uint64_t));
@@ -130,32 +133,53 @@ PersistentHashmapAtomic::insert(std::uint64_t key, std::uint64_t value)
     pool_.registerVariable("hashmap_atomic.pending_bucket", slot,
                            sizeof(Addr));
 
-    pool_.store<std::uint64_t>(fresh + offsetof(Entry, key), key);
-    pool_.store<std::uint64_t>(fresh + offsetof(Entry, value), value);
-    pool_.store<Addr>(fresh + offsetof(Entry, next),
-                      pool_.load<Addr>(slot));
+    PmRuntime &runtime = pool_.runtime();
+    {
+        SiteScope site(runtime, "hashmap_atomic.cc:insert.fill_entry");
+        pool_.store<std::uint64_t>(fresh + offsetof(Entry, key), key);
+        pool_.store<std::uint64_t>(fresh + offsetof(Entry, value),
+                                   value);
+        pool_.store<Addr>(fresh + offsetof(Entry, next),
+                          pool_.load<Addr>(slot));
+    }
 
     if (faults_.active("hmatomic_bucket_before_entry")) {
         // Order bug: publish the bucket head first, then persist the
         // entry — a crash between the two leaves a dangling head.
+        SiteScope site(runtime,
+                       "hashmap_atomic.cc:insert.publish_entry");
         pool_.store<Addr>(slot, fresh);
         pool_.persist(slot, sizeof(Addr));
         pool_.persist(fresh, sizeof(Entry));
     } else if (faults_.active("hmatomic_skip_entry_flush")) {
         // Durability bug: the entry itself is never flushed.
+        SiteScope site(runtime,
+                       "hashmap_atomic.cc:insert.publish_entry");
         pool_.fence();
         pool_.store<Addr>(slot, fresh);
         pool_.persist(slot, sizeof(Addr));
     } else if (faults_.active("hmatomic_double_flush")) {
         // Performance bug: the entry line is flushed twice before its
         // fence (redundant flush).
-        pool_.flush(fresh, sizeof(Entry));
-        pool_.flush(fresh, sizeof(Entry));
-        pool_.fence();
+        {
+            SiteScope persist_site(
+                runtime, "hashmap_atomic.cc:insert.persist_entry");
+            pool_.flush(fresh, sizeof(Entry));
+            pool_.flush(fresh, sizeof(Entry));
+            pool_.fence();
+        }
+        SiteScope site(runtime,
+                       "hashmap_atomic.cc:insert.publish_entry");
         pool_.store<Addr>(slot, fresh);
         pool_.persist(slot, sizeof(Addr));
     } else {
-        pool_.persist(fresh, sizeof(Entry));
+        {
+            SiteScope persist_site(
+                runtime, "hashmap_atomic.cc:insert.persist_entry");
+            pool_.persist(fresh, sizeof(Entry));
+        }
+        SiteScope site(runtime,
+                       "hashmap_atomic.cc:insert.publish_entry");
         pool_.store<Addr>(slot, fresh);
         pool_.persist(slot, sizeof(Addr));
     }
@@ -164,6 +188,8 @@ PersistentHashmapAtomic::insert(std::uint64_t key, std::uint64_t value)
         // Performance bug: a CLF on a line no store ever touched
         // (scratch[5] sits in the root object's second cache line,
         // which holds nothing else).
+        SiteScope site(runtime,
+                       "hashmap_atomic.cc:insert.audit_scratch");
         pool_.flush(meta_ + offsetof(Meta, scratch) +
                         5 * sizeof(std::uint64_t),
                     sizeof(std::uint64_t));
@@ -171,6 +197,7 @@ PersistentHashmapAtomic::insert(std::uint64_t key, std::uint64_t value)
     }
 
     // Persist the element count (strict update).
+    SiteScope count_site(runtime, "hashmap_atomic.cc:insert.bump_count");
     const Addr count_addr = meta_ + offsetof(Meta, count);
     pool_.store<std::uint64_t>(count_addr,
                                pool_.load<std::uint64_t>(count_addr) + 1);

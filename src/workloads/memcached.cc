@@ -95,9 +95,12 @@ MiniMemcached::setNew(Shard &shard, std::uint64_t key,
     const Addr commit_flag =
         shard.stats + offsetof(ShardStats, commitFlag);
 
-    // Header line.
-    pool_.store<std::uint64_t>(item + offsetof(Item, hash), mix64(key),
-                               thread);
+    PmRuntime &runtime = pool_.runtime();
+    {
+        SiteScope site(runtime, "memcached.cc:setNew.fill_item", thread);
+        // Header line.
+        pool_.store<std::uint64_t>(item + offsetof(Item, hash),
+                                   mix64(key), thread);
     if (!bug(1)) {
         // Figure 9a: ITEM_set_cas modifies the item's CAS id on link;
         // the buggy code performs this store after the item has been
@@ -119,15 +122,19 @@ MiniMemcached::setNew(Shard &shard, std::uint64_t key,
                                    thread);
     }
 
-    // Value line.
-    std::uint8_t value[valueBytes];
-    for (std::size_t i = 0; i < valueBytes; ++i)
-        value[i] = static_cast<std::uint8_t>(payload >> (8 * (i % 8)));
-    pool_.writeBytes(item + offsetof(Item, value), value, valueBytes,
-                     thread);
+        // Value line.
+        std::uint8_t value[valueBytes];
+        for (std::size_t i = 0; i < valueBytes; ++i)
+            value[i] =
+                static_cast<std::uint8_t>(payload >> (8 * (i % 8)));
+        pool_.writeBytes(item + offsetof(Item, value), value, valueBytes,
+                         thread);
+    }
 
     // Persist the item. Bug 5 flushes only the header line; bug 4
     // flushes both lines but omits the fence.
+    SiteScope persist_site(runtime, "memcached.cc:setNew.persist_item",
+                           thread);
     if (bug(5)) {
         pool_.flush(item, cacheLineSize, FlushKind::Clwb, thread);
         pool_.fence(thread);
@@ -159,26 +166,36 @@ MiniMemcached::setNew(Shard &shard, std::uint64_t key,
 
     if (bug(1)) {
         // The unpersisted ITEM_set_cas store of Figure 9a.
+        SiteScope site(runtime, "memcached.cc:setNew.late_header_update",
+                       thread);
         pool_.store<std::uint64_t>(item + offsetof(Item, cas), cas,
                                    thread);
     }
     if (bug(17)) {
+        SiteScope site(runtime, "memcached.cc:setNew.late_header_update",
+                       thread);
         pool_.store<std::uint64_t>(item + offsetof(Item, key), key,
                                    thread);
     }
     if (bug(18)) {
+        SiteScope site(runtime, "memcached.cc:setNew.late_header_update",
+                       thread);
         pool_.store<std::uint32_t>(item + offsetof(Item, exptime),
                                    static_cast<std::uint32_t>(payload),
                                    thread);
     }
     if (bug(11) && shard.staleItem) {
         // Flush-nothing: a CLF on a long-since durable retired item.
+        SiteScope site(runtime, "memcached.cc:setNew.audit_flush",
+                       thread);
         pool_.flush(shard.staleItem, cacheLineSize, FlushKind::Clwb,
                     thread);
         pool_.fence(thread);
     }
     if (bug(12)) {
         // Flush-nothing: the untouched scratch line of the stats block.
+        SiteScope site(runtime, "memcached.cc:setNew.audit_flush",
+                       thread);
         pool_.flush(shard.stats + offsetof(ShardStats, scratch),
                     sizeof(std::uint64_t), FlushKind::Clwb, thread);
         pool_.fence(thread);
@@ -187,6 +204,8 @@ MiniMemcached::setNew(Shard &shard, std::uint64_t key,
     // Shard statistics (strict updates). Bug 4 is a set path that
     // returns without any fence at all: its stats updates stay
     // unfenced too, so no later fence accidentally persists the item.
+    SiteScope stats_site(runtime, "memcached.cc:setNew.persist_stats",
+                         thread);
     persistStat(shard.stats + offsetof(ShardStats, casId), cas,
                 !bug(2) && !bug(4), thread);
     persistStat(shard.stats + offsetof(ShardStats, totalItems),
@@ -217,6 +236,8 @@ MiniMemcached::setExisting(Shard &shard, Addr item, std::uint64_t payload,
                            ThreadId thread)
 {
     // Value update.
+    SiteScope site(pool_.runtime(),
+                   "memcached.cc:setExisting.update_value", thread);
     std::uint8_t value[valueBytes];
     for (std::size_t i = 0; i < valueBytes; ++i)
         value[i] = static_cast<std::uint8_t>(payload >> (8 * (i % 8)));
@@ -258,6 +279,8 @@ MiniMemcached::setExisting(Shard &shard, Addr item, std::uint64_t payload,
                           sizeof(std::uint64_t), thread);
         }
     };
+    SiteScope header_site(pool_.runtime(),
+                          "memcached.cc:setExisting.bump_header", thread);
     if (bug(16)) {
         bump_cas();
         bump_val_len();
@@ -296,6 +319,8 @@ MiniMemcached::evictOne(Shard &shard, ThreadId thread)
     shard.index.erase(it);
 
     // Tombstone the item (valLen = 0) and persist the tombstone.
+    SiteScope site(pool_.runtime(), "memcached.cc:evictOne.tombstone",
+                   thread);
     pool_.store<std::uint32_t>(item + offsetof(Item, valLen), 0, thread);
     if (!bug(8)) {
         pool_.persist(item + offsetof(Item, valLen),
@@ -326,6 +351,8 @@ MiniMemcached::get(std::uint64_t key, ThreadId thread)
 
     if (bug(19)) {
         // Per-item fetch counter stored on the hot path, never flushed.
+        SiteScope site(pool_.runtime(), "memcached.cc:get.bump_fetched",
+                       thread);
         const Addr fetched = it->second + offsetof(Item, fetched);
         const bool annotate = pmtest_ && thread == 0;
         if (annotate)

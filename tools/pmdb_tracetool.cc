@@ -6,8 +6,9 @@
  *
  * Usage:
  *   pmdb_trace record <workload> <ops> <out.trc> [--fault NAME]
- *   pmdb_trace record case:<name> <out.trc> [--correct]
- *   pmdb_trace info <file.trc>
+ *   pmdb_trace record case:<name> <out.trc> [--correct] [--seed N]
+ *                     [--threads N] [--ycsb-mix a..f] [--ops N]
+ *   pmdb_trace info <file.trc> [--sites]
  *   pmdb_trace charz <file.trc>          # Section 3 characterization
  *   pmdb_trace replay <file.trc> <checker> [--json] [--fingerprints]
  *                     [--case <name>]
@@ -16,14 +17,16 @@
  *   pmdb_trace minimize (case:<name> | <in.trc>) <out.trc>
  *                       [--case <name>] [--max-replays N]
  *   pmdb_trace repair   (case:<name> | <in.trc>) <out.trc>
- *                       [--case <name>]
+ *                       [--case <name>] [--json]
  *   pmdb_trace gen-fingerprints [<out.inc>]
  *
  * Exit codes: 0 success, 2 usage error, 3 unknown workload/checker/case
  * name, 4 unreadable or corrupt trace file, 5 trace loaded but its
  * stream tail was truncated (info only; the longest valid prefix was
  * recovered), 6 no verified repair / target bug not reproduced. The
- * failing file or name is printed to stderr.
+ * failing file or name is printed to stderr. (pmdb_advise extends the
+ * family with 7: corpus ran but no advisory cleared the confidence
+ * threshold.)
  */
 
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include <cstring>
 #include <string>
 
+#include "advise/advise.hh"
 #include "charz/characterize.hh"
 #include "core/report.hh"
 #include "crashsim/crash_points.hh"
@@ -61,8 +65,9 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s record <workload> <ops> <out.trc> [--fault NAME]\n"
-        "       %s record case:<name> <out.trc> [--correct]\n"
-        "       %s info <file.trc>\n"
+        "       %s record case:<name> <out.trc> [--correct] [--seed N]\n"
+        "                [--threads N] [--ycsb-mix a..f] [--ops N]\n"
+        "       %s info <file.trc> [--sites]\n"
         "       %s charz <file.trc>\n"
         "       %s replay <file.trc> <checker> [--json] "
         "[--fingerprints] [--case <name>]\n"
@@ -73,7 +78,7 @@ usage(const char *argv0)
         "[--case <name>]\n"
         "                [--max-replays N]\n"
         "       %s repair (case:<name> | <in.trc>) <out.trc> "
-        "[--case <name>]\n"
+        "[--case <name>] [--json]\n"
         "       %s gen-fingerprints [<out.inc>]\n",
         argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return exitUsage;
@@ -162,19 +167,43 @@ cmdRecord(int argc, char **argv)
             return exitUnknownName;
         }
         bool buggy = true;
+        CaseParams params;
         for (int i = 4; i < argc; ++i) {
-            if (std::string(argv[i]) == "--correct")
+            const std::string arg = argv[i];
+            if (arg == "--correct") {
                 buggy = false;
+            } else if (arg == "--seed" && i + 1 < argc) {
+                params.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (arg == "--threads" && i + 1 < argc) {
+                params.threads =
+                    static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+            } else if (arg == "--ops" && i + 1 < argc) {
+                params.operations =
+                    std::strtoull(argv[++i], nullptr, 10);
+            } else if (arg == "--ycsb-mix" && i + 1 < argc) {
+                const char *mix = argv[++i];
+                if (mix[0] < 'a' || mix[0] > 'f' || mix[1]) {
+                    std::fprintf(stderr, "bad YCSB mix '%s'\n", mix);
+                    return usage(argv[0]);
+                }
+                params.ycsbMix = mix[0];
+            } else {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                return usage(argv[0]);
+            }
         }
-        const LoadedTrace trace = recordCaseTrace(*bug_case, buggy);
+        const LoadedTrace trace =
+            recordCaseTrace(*bug_case, buggy, &params);
         std::string error;
         if (!writeTraceFile(argv[3], trace.events, trace.names, &error)) {
             std::fprintf(stderr, "%s: %s\n", argv[3], error.c_str());
             return exitBadTrace;
         }
-        std::printf("recorded %zu events from case %s (%s) -> %s\n",
+        std::printf("recorded %zu events from case %s (%s, %s) -> %s\n",
                     trace.events.size(), bug_case->name.c_str(),
-                    buggy ? "buggy" : "correct", argv[3]);
+                    buggy ? "buggy" : "correct",
+                    params.label().c_str(), argv[3]);
         return 0;
     }
 
@@ -214,6 +243,15 @@ cmdInfo(int argc, char **argv)
     using namespace pmdb;
     if (argc < 3)
         return usage(argv[0]);
+    bool sites = false;
+    for (int i = 3; i < argc; ++i) {
+        if (std::string(argv[i]) == "--sites") {
+            sites = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            return usage(argv[0]);
+        }
+    }
     LoadedTrace trace;
     bool truncated = false;
     if (!loadTrace(argv[2], &trace, &truncated))
@@ -228,6 +266,20 @@ cmdInfo(int argc, char **argv)
             std::printf("  %-14s %llu\n",
                         toString(static_cast<EventKind>(k)),
                         static_cast<unsigned long long>(counts[k]));
+        }
+    }
+    if (sites) {
+        // Program sites interned by SiteScope annotations, with the
+        // number of events each one emitted — the advisory engine's
+        // attribution domain for this trace.
+        const auto site_counts = siteEventCounts(trace);
+        std::printf("sites: %zu\n", site_counts.size());
+        for (const auto &[site, count] : site_counts) {
+            std::printf("  %-48s %llu\n", site.c_str(),
+                        static_cast<unsigned long long>(count));
+        }
+        if (site_counts.empty()) {
+            std::printf("  (trace recorded without site annotations)\n");
         }
     }
     // Structural crash-surface summary: where a crash-state
@@ -431,10 +483,13 @@ cmdRepair(int argc, char **argv)
     if (argc < 4)
         return usage(argv[0]);
     std::string case_name;
+    bool json = false;
     for (int i = 4; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--case" && i + 1 < argc) {
             case_name = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return usage(argv[0]);
@@ -459,8 +514,18 @@ cmdRepair(int argc, char **argv)
 
     const RepairResult result =
         repairTrace(trace, target, debuggerConfigFor(*bug_case));
-    std::printf("target     %s\n", target.toString().c_str());
+    if (!json)
+        std::printf("target     %s\n", target.toString().c_str());
     if (!result.verified) {
+        if (json) {
+            std::printf("{\"case\": \"%s\", \"target\": \"%s\", "
+                        "\"verified\": false, \"candidates\": %zu, "
+                        "\"replays\": %llu}\n",
+                        jsonEscape(bug_case->name).c_str(),
+                        jsonEscape(target.toString()).c_str(),
+                        result.candidatesTried,
+                        static_cast<unsigned long long>(result.replays));
+        }
         std::fprintf(stderr,
                      "no verified repair for %s (%zu candidates, %llu "
                      "replays)\n",
@@ -475,13 +540,44 @@ cmdRepair(int argc, char **argv)
         std::fprintf(stderr, "%s: %s\n", argv[3], error.c_str());
         return exitBadTrace;
     }
-    for (const std::string &line : result.advisory)
-        std::printf("advisory   %s\n", line.c_str());
-    std::printf("repaired   %zu edits verified in %zu candidates, %llu "
-                "replays -> %s\n",
-                result.patch.edits.size(), result.candidatesTried,
-                static_cast<unsigned long long>(result.replays),
-                argv[3]);
+    if (json) {
+        // Machine-readable patch: one record per edit with the same
+        // program-site attribution the advisory engine clusters on.
+        std::printf("{\n  \"case\": \"%s\",\n  \"target\": \"%s\",\n"
+                    "  \"verified\": true,\n  \"strategy\": \"%s\",\n"
+                    "  \"candidates\": %zu,\n  \"replays\": %llu,\n"
+                    "  \"edits\": [",
+                    jsonEscape(bug_case->name).c_str(),
+                    jsonEscape(target.toString()).c_str(),
+                    jsonEscape(result.patch.strategy).c_str(),
+                    result.candidatesTried,
+                    static_cast<unsigned long long>(result.replays));
+        for (std::size_t i = 0; i < result.patch.edits.size(); ++i) {
+            const TraceEdit &edit = result.patch.edits[i];
+            const bool insert = edit.op == TraceEdit::Op::Insert;
+            std::string site = "";
+            if (edit.siteId != noName && edit.siteId < trace.names.size())
+                site = trace.names.name(edit.siteId);
+            std::printf("%s\n    {\"op\": \"%s\", \"event\": \"%s\", "
+                        "\"rule\": \"%s\", \"site\": \"%s\", "
+                        "\"anchor_seq\": %llu, \"note\": \"%s\"}",
+                        i ? "," : "", insert ? "insert" : "delete",
+                        toString(edit.event.kind),
+                        toString(edit.rule), jsonEscape(site).c_str(),
+                        static_cast<unsigned long long>(edit.anchorSeq),
+                        jsonEscape(edit.note).c_str());
+        }
+        std::printf("%s\n}\n",
+                    result.patch.edits.empty() ? "]" : "\n  ]");
+    } else {
+        for (const std::string &line : result.advisory)
+            std::printf("advisory   %s\n", line.c_str());
+        std::printf("repaired   %zu edits verified in %zu candidates, "
+                    "%llu replays -> %s\n",
+                    result.patch.edits.size(), result.candidatesTried,
+                    static_cast<unsigned long long>(result.replays),
+                    argv[3]);
+    }
     return 0;
 }
 
