@@ -95,6 +95,10 @@ PmDebugger::handle(const Event &event)
       case EventKind::Store:
         processStore(event);
         break;
+      case EventKind::Load:
+        // Loads carry no persistence obligation; only the cross-session
+        // engine (src/crossproc/) interprets them.
+        break;
       case EventKind::Flush:
         processFlush(event);
         break;

@@ -1,0 +1,160 @@
+#include "crossproc/engine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmdb
+{
+
+namespace
+{
+
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+CrossGroupResult::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"pool\": \"" << escapeJson(pool) << "\", \"writers\": [";
+    for (std::size_t i = 0; i < writers.size(); ++i)
+        out << (i ? ", " : "") << writers[i];
+    out << "], \"events_replayed\": " << eventsReplayed
+        << ", \"cross_bugs\": [";
+    for (std::size_t i = 0; i < bugs.size(); ++i) {
+        out << (i ? ", " : "") << "{\"rule\": \""
+            << toString(bugs[i].type) << "\", \"detail\": \""
+            << escapeJson(bugs[i].toString()) << "\"}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+CrossprocEngine::CrossprocEngine(std::size_t shards, Addr stripeBytes)
+    : shards_(shards), stripeBytes_(stripeBytes)
+{
+}
+
+void
+CrossprocEngine::joinGroup(std::uint32_t id, const std::string &pool,
+                           std::uint32_t writer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessionPool_[id] = pool;
+    groups_[pool].members[id].writer = writer;
+}
+
+void
+CrossprocEngine::feed(std::uint32_t id, const Event *events,
+                      std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessionPool_.find(id);
+    if (it == sessionPool_.end())
+        return;
+    Member &member = groups_[it->second].members[id];
+    for (std::size_t i = 0; i < count; ++i) {
+        if (events[i].global != 0)
+            member.events.push_back(events[i]);
+    }
+}
+
+void
+CrossprocEngine::sessionComplete(std::uint32_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessionPool_.find(id);
+    if (it == sessionPool_.end())
+        return;
+    const std::string pool = it->second;
+    auto groupIt = groups_.find(pool);
+    if (groupIt == groups_.end())
+        return;
+    Group &group = groupIt->second;
+    group.members[id].complete = true;
+    const bool allDone = std::all_of(
+        group.members.begin(), group.members.end(),
+        [](const auto &entry) { return entry.second.complete; });
+    if (!allDone)
+        return;
+    evaluate(pool, group);
+    for (const auto &[member, info] : group.members)
+        sessionPool_.erase(member);
+    groups_.erase(groupIt);
+}
+
+void
+CrossprocEngine::evaluate(const std::string &pool, Group &group)
+{
+    // Merge the members' retained streams into ticket order. Each
+    // member's stream is already ticket-ascending (the pool draws
+    // tickets in program order), so a k-way linear merge would do;
+    // collect-and-sort keeps the code obvious and the cost is
+    // evaluation-time only, off every ingest path.
+    struct Tagged
+    {
+        std::uint32_t writer;
+        const Event *event;
+    };
+    std::vector<Tagged> merged;
+    std::size_t total = 0;
+    for (const auto &[id, member] : group.members)
+        total += member.events.size();
+    merged.reserve(total);
+    for (const auto &[id, member] : group.members) {
+        for (const Event &event : member.events)
+            merged.push_back({member.writer, &event});
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Tagged &a, const Tagged &b) {
+                  return a.event->global < b.event->global;
+              });
+
+    CrossRuleEngine rules(shards_, stripeBytes_);
+    for (const Tagged &entry : merged)
+        rules.feed(entry.writer, *entry.event);
+    rules.finish();
+
+    CrossGroupResult result;
+    result.pool = pool;
+    for (const auto &[id, member] : group.members)
+        result.writers.push_back(member.writer);
+    std::sort(result.writers.begin(), result.writers.end());
+    result.eventsReplayed = rules.eventsReplayed();
+    result.bugs = rules.bugs();
+    results_.push_back(std::move(result));
+}
+
+std::vector<CrossGroupResult>
+CrossprocEngine::results() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_;
+}
+
+std::string
+CrossprocEngine::resultsJson() const
+{
+    const std::vector<CrossGroupResult> all = results();
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < all.size(); ++i)
+        out << (i ? ", " : "") << all[i].toJson();
+    out << "]";
+    return out.str();
+}
+
+} // namespace pmdb
+

@@ -100,7 +100,8 @@ struct ServiceDaemon::Poller
 };
 
 ServiceDaemon::ServiceDaemon(ServiceConfig config)
-    : config_(std::move(config)), pool_(poolConfigFor(config_))
+    : config_(std::move(config)), pool_(poolConfigFor(config_)),
+      crossproc_(config_.pool.shards, config_.pool.stripeBytes)
 {
 }
 
@@ -251,7 +252,7 @@ ServiceDaemon::aggregatedJson() const
             << (session.aborted ? "true" : "false") << ", \"report\": "
             << reportToJson(bugs, session.verdict.stats) << "}";
     }
-    out << "]}";
+    out << "], \"crossproc\": " << crossproc_.resultsJson() << "}";
     return out.str();
 }
 
@@ -386,6 +387,14 @@ ServiceDaemon::finishHandshake(ActiveSession &session)
         !session.hello.orderSpecText.empty();
     pool_.openSession(session.id, config, pinned);
 
+    // Shared-pool sessions additionally join their pool's
+    // cross-session detection group; their events still flow through
+    // per-session detection unchanged.
+    if (!session.hello.sharedPoolPath.empty()) {
+        crossproc_.joinGroup(session.id, session.hello.sharedPoolPath,
+                             session.hello.sharedWriterId);
+    }
+
     WireWriter out;
     out.put(static_cast<std::uint32_t>(session.id));
     sendMessage(session.fd, MsgType::Welcome, out.bytes());
@@ -463,6 +472,10 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
             progressed = true;
             ++session.summary.batchesDrained;
             session.summary.eventsProcessed += popped;
+            if (!session.hello.sharedPoolPath.empty()) {
+                crossproc_.feed(session.id, session.scratch.data(),
+                                popped);
+            }
             if (!pool_.tryRouteEvents(session.id,
                                       session.scratch.data(), popped,
                                       &session.pending))
@@ -487,6 +500,10 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
                          session.hello.spillPath +
                          " has a truncated tail");
                 }
+                if (!session.hello.sharedPoolPath.empty()) {
+                    crossproc_.feed(session.id, spill.events.data(),
+                                    spill.events.size());
+                }
                 pool_.routeEvents(session.id, spill.events.data(),
                                   spill.events.size());
                 session.summary.spillReplayed = spill.events.size();
@@ -510,6 +527,11 @@ ServiceDaemon::beginClose(const std::shared_ptr<ActiveSession> &sp,
     session.phase = ActiveSession::Phase::Closing;
     session.summary.eventsDropped = session.ring.droppedCount();
     session.summary.aborted = aborted;
+    // Every event of this session has been fed by now (feeds and this
+    // close run on the same poller); when this is the group's last
+    // member, the cross-session verdict is computed here.
+    if (!session.hello.sharedPoolPath.empty())
+        crossproc_.sessionComplete(session.id);
     outstandingCloses_.fetch_add(1);
     // The callback runs on the shard worker that finalizes the last
     // (session, shard) queue — off the poller, so a slow report send

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "crossproc/engine.hh"
 #include "service/protocol.hh"
 #include "service/shard.hh"
 
@@ -131,9 +132,19 @@ class ServiceDaemon
     /**
      * Aggregated JSON across all completed sessions: per-session bug
      * reports with attribution and ingest counters, plus daemon-level
-     * poller and shard counters.
+     * poller and shard counters and the cross-session group verdicts.
      */
     std::string aggregatedJson() const;
+
+    /**
+     * Verdicts of completed shared-pool groups (sessions that
+     * announced the same sharedPoolPath in their Hello). Empty until
+     * every member of a group has finished.
+     */
+    std::vector<CrossGroupResult> crossprocResults() const
+    {
+        return crossproc_.results();
+    }
 
     const std::string &socketPath() const { return config_.socketPath; }
 
@@ -151,6 +162,8 @@ class ServiceDaemon
 
     ServiceConfig config_;
     ShardPool pool_;
+    /** Cross-session rule engine for shared-pool session groups. */
+    CrossprocEngine crossproc_;
     int listenFd_ = -1;
     std::thread acceptThread_;
     std::vector<std::unique_ptr<Poller>> pollers_;

@@ -38,6 +38,8 @@ HelloBody::serialize() const
     out.putString(orderSpecText);
     out.putString(ringPath);
     out.putString(spillPath);
+    out.putString(sharedPoolPath);
+    out.put(sharedWriterId);
     return out.bytes();
 }
 
@@ -53,6 +55,8 @@ HelloBody::deserialize(const std::vector<std::uint8_t> &payload,
     out->orderSpecText = in.getString();
     out->ringPath = in.getString();
     out->spillPath = in.getString();
+    out->sharedPoolPath = in.getString();
+    out->sharedWriterId = in.get<std::uint32_t>();
     return in.ok() && out->version == serviceProtocolVersion;
 }
 

@@ -35,8 +35,9 @@
 namespace pmdb
 {
 
-/** Protocol version; bumped on any wire-incompatible change. */
-constexpr std::uint32_t serviceProtocolVersion = 1;
+/** Protocol version; bumped on any wire-incompatible change.
+ *  v2: HelloBody gained the shared-pool membership fields. */
+constexpr std::uint32_t serviceProtocolVersion = 2;
 
 /** Session identifier assigned by the daemon. */
 using SessionId = std::uint32_t;
@@ -178,6 +179,16 @@ struct HelloBody
     std::string ringPath;
     /** Path of the spill trace (empty unless policy == Spill). */
     std::string spillPath;
+    /**
+     * Path of the multi-writer shared pool this session maps (empty for
+     * ordinary single-writer sessions). Sessions announcing the same
+     * path form a cross-session detection group: the daemon's
+     * CrossprocEngine merges their event streams by global clock ticket
+     * and runs the inter-writer rules when the whole group completes.
+     */
+    std::string sharedPoolPath;
+    /** This session's writer id within the shared pool (1-based). */
+    std::uint32_t sharedWriterId = 0;
 
     std::vector<std::uint8_t> serialize() const;
     static bool deserialize(const std::vector<std::uint8_t> &payload,

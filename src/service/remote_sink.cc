@@ -61,6 +61,8 @@ RemoteSink::connect(const Options &options, std::string *error)
     hello.orderSpecText = options_.orderSpecText;
     hello.ringPath = options_.ringPath;
     hello.spillPath = options_.spillPath;
+    hello.sharedPoolPath = options_.sharedPoolPath;
+    hello.sharedWriterId = options_.sharedWriterId;
     MsgType type;
     std::vector<std::uint8_t> payload;
     if (!sendMessage(fd_, MsgType::Hello, hello.serialize()) ||

@@ -57,6 +57,15 @@ class RemoteSink : public TraceSink
         std::string orderSpecText;
         /** connectUnix retry budget (daemon may still be starting). */
         int connectTimeoutMs = 2000;
+        /**
+         * Multi-writer shared pool this client maps (empty = ordinary
+         * session). Announced in the Hello so the daemon groups this
+         * session with the pool's other writers for cross-session
+         * detection.
+         */
+        std::string sharedPoolPath;
+        /** Writer id within the shared pool (1-based). */
+        std::uint32_t sharedWriterId = 0;
     };
 
     RemoteSink() = default;

@@ -19,8 +19,8 @@ namespace
 bool
 isAddressed(EventKind kind)
 {
-    return kind == EventKind::Store || kind == EventKind::Flush ||
-           kind == EventKind::TxLog;
+    return kind == EventKind::Store || kind == EventKind::Load ||
+           kind == EventKind::Flush || kind == EventKind::TxLog;
 }
 
 void

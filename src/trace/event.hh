@@ -27,6 +27,15 @@ enum class EventKind : std::uint8_t
 {
     /** A store to registered persistent memory. */
     Store,
+    /**
+     * An instrumented read of persistent memory. Only multi-writer
+     * shared-pool programs emit these (src/pmem/shared_device.hh):
+     * cross-process visibility rules need to see *when* one writer
+     * observes another writer's data. Per-session detectors ignore
+     * Load events entirely — single-writer detection stays load-free,
+     * matching the paper's instrumentation.
+     */
+    Load,
     /** A cache-line writeback (CLF) instruction. */
     Flush,
     /** An ordering / durability fence (SFENCE). */
@@ -92,6 +101,17 @@ struct Event
     std::uint32_t size = 0;
     /** Monotonic per-runtime sequence number. */
     SeqNum seq = 0;
+    /**
+     * Global shared-pool clock ticket. Zero for every event of a
+     * single-writer program. When the program operates on a
+     * multi-writer SharedPmemPool, each instrumented operation draws a
+     * ticket from the pool's global fence clock *before* touching
+     * shared memory, so tickets order operations across all writer
+     * processes — the cross-session rule engine merges the per-session
+     * streams by this field. Fingerprints and per-session detectors
+     * never consult it.
+     */
+    SeqNum global = 0;
 
     AddrRange range() const { return AddrRange::fromSize(addr, size); }
 };

@@ -14,6 +14,7 @@ toString(EventKind kind)
 {
     switch (kind) {
       case EventKind::Store:        return "store";
+      case EventKind::Load:         return "load";
       case EventKind::Flush:        return "flush";
       case EventKind::Fence:        return "fence";
       case EventKind::EpochBegin:   return "epoch-begin";
@@ -291,6 +292,7 @@ PmRuntime::isBoundary(EventKind kind)
 {
     switch (kind) {
       case EventKind::Store:
+      case EventKind::Load:
       case EventKind::Flush:
       case EventKind::TxLog:
         return false;
@@ -406,6 +408,13 @@ PmRuntime::dispatchBatchedThreadSafe(Event &event)
 void
 PmRuntime::dispatch(Event event)
 {
+    // Consume the pending shared-pool ticket (if any) whether or not
+    // sinks are attached, so a stamp armed for this operation can never
+    // leak onto a later unrelated event.
+    if (nextGlobal_ != 0) {
+        event.global = nextGlobal_;
+        nextGlobal_ = 0;
+    }
     // Native (no-sink) runs must not serialize the application: bump
     // the sequence atomically and return. Only instrumented runs pay
     // the serialization, exactly like guest threads under Valgrind.
@@ -533,6 +542,20 @@ PmRuntime::store(Addr addr, std::uint32_t size, ThreadId thread)
 {
     Event e;
     e.kind = EventKind::Store;
+    e.thread = thread;
+    e.strand = strandOf(thread);
+    e.nameId = siteOf(thread);
+    e.addr = addr;
+    e.size = size;
+    dispatch(e);
+}
+
+void
+PmRuntime::load(Addr addr, std::uint32_t size, ThreadId thread)
+{
+    noteRead(addr, size);
+    Event e;
+    e.kind = EventKind::Load;
     e.thread = thread;
     e.strand = strandOf(thread);
     e.nameId = siteOf(thread);

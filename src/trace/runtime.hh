@@ -176,6 +176,15 @@ class PmRuntime
     /** A store of @p size bytes at @p addr in persistent memory. */
     void store(Addr addr, std::uint32_t size, ThreadId thread = 0);
 
+    /**
+     * An instrumented load of [addr, addr+size). Only multi-writer
+     * shared-pool programs emit Load events (per-session detection is
+     * load-free, matching the paper); the cross-session engine needs
+     * them to see when one writer observes another's data. Also feeds
+     * the read-set tracker when one is installed.
+     */
+    void load(Addr addr, std::uint32_t size, ThreadId thread = 0);
+
     /** A cache-line writeback covering [addr, addr+size). */
     void flush(Addr addr, std::uint32_t size,
                FlushKind kind = FlushKind::Clwb, ThreadId thread = 0);
@@ -260,6 +269,24 @@ class PmRuntime
         if (readTracker_)
             readTracker_->note(addr, size);
     }
+
+    /** @} */
+
+    /** @name Shared-pool global clock (cross-session detection). */
+    /** @{ */
+
+    /**
+     * Arm a one-shot global-clock ticket: the *next* dispatched event
+     * carries @p ticket in Event::global, after which the stamp resets
+     * to zero. SharedPmemPool draws the ticket from the pool's global
+     * fence clock *before* mutating shared memory and arms it here, so
+     * the cross-writer order of tickets can never invert the order of
+     * the memory operations they describe. Shared-pool programs drive
+     * the runtime from one thread, so the stamp needs no
+     * synchronization (it pairs with the operation issued on the same
+     * call stack).
+     */
+    void setNextGlobal(SeqNum ticket) { nextGlobal_ = ticket; }
 
     /** @} */
 
@@ -357,6 +384,9 @@ class PmRuntime
 
     /** Non-owning read-set tracker; null outside model-check runs. */
     ReadSet *readTracker_ = nullptr;
+
+    /** One-shot shared-pool ticket consumed by the next dispatch. */
+    SeqNum nextGlobal_ = 0;
 };
 
 /**

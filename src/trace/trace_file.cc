@@ -11,11 +11,14 @@ namespace pmdb
 namespace
 {
 
+// Version 2: EventKind gained Load (renumbering the packed kind byte)
+// and PackedEvent gained the shared-pool global clock field. Version-1
+// files are rejected by magic rather than silently misdecoded.
 constexpr char traceMagic[8] = {'P', 'M', 'D', 'B',
-                                'T', 'R', 'C', '1'};
+                                'T', 'R', 'C', '2'};
 
 constexpr char streamMagic[8] = {'P', 'M', 'D', 'B',
-                                 'T', 'R', 'S', '1'};
+                                 'T', 'R', 'S', '2'};
 
 /** Stream record tags. */
 constexpr char nameTag = 'N';
@@ -32,6 +35,7 @@ struct PackedEvent
     std::uint64_t addr;
     std::uint32_t size;
     std::uint64_t seq;
+    std::uint64_t global;
 };
 
 struct FileCloser
@@ -80,6 +84,7 @@ pack(const Event &event)
     packed.addr = event.addr;
     packed.size = event.size;
     packed.seq = event.seq;
+    packed.global = event.global;
     return packed;
 }
 
@@ -95,6 +100,7 @@ unpack(const PackedEvent &packed)
     event.addr = packed.addr;
     event.size = packed.size;
     event.seq = packed.seq;
+    event.global = packed.global;
     return event;
 }
 
@@ -127,15 +133,7 @@ writeTraceFile(const std::string &path, const std::vector<Event> &events,
     if (!writeValue(file.get(), event_count))
         return fail(error, "write failed: event count");
     for (const Event &event : events) {
-        PackedEvent packed;
-        packed.kind = static_cast<std::uint8_t>(event.kind);
-        packed.flushKind = static_cast<std::uint8_t>(event.flushKind);
-        packed.thread = event.thread;
-        packed.strand = event.strand;
-        packed.nameId = event.nameId;
-        packed.addr = event.addr;
-        packed.size = event.size;
-        packed.seq = event.seq;
+        const PackedEvent packed = pack(event);
         if (!writeValue(file.get(), packed))
             return fail(error, "write failed: event record");
     }

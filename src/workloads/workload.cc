@@ -8,6 +8,7 @@
 #include "workloads/rbtree.hh"
 #include "workloads/redis.hh"
 #include "workloads/rtree.hh"
+#include "workloads/shared_queue.hh"
 #include "workloads/synth_patterns.hh"
 #include "workloads/synth_strand.hh"
 #include "workloads/ycsb.hh"
@@ -21,7 +22,7 @@ workloadNames()
     return {"b_tree",       "c_tree",         "r_tree",
             "rb_tree",      "hashmap_tx",     "hashmap_atomic",
             "synth_strand", "synth_patterns", "memcached",
-            "redis",
+            "redis",        "shared_queue",
             "ycsb_a",       "ycsb_b",         "ycsb_c",
             "ycsb_d",       "ycsb_e",         "ycsb_f"};
 }
@@ -56,6 +57,8 @@ makeWorkload(const std::string &name)
         return std::make_unique<MemcachedWorkload>();
     if (name == "redis")
         return std::make_unique<RedisWorkload>();
+    if (name == "shared_queue")
+        return std::make_unique<SharedQueueWorkload>();
     if (name.size() == 6 && name.rfind("ycsb_", 0) == 0 &&
         name[5] >= 'a' && name[5] <= 'f') {
         return std::make_unique<YcsbWorkload>(name[5]);

@@ -104,6 +104,16 @@ struct WorkloadOptions
      * hashmap_atomic); others ignore it.
      */
     CrashsimSession *crashsim = nullptr;
+
+    /**
+     * Multi-writer shared pool file (crossproc workload family). When
+     * set, the workload maps this SharedPmemPool instead of creating a
+     * private PmemPool, and runs the role selected by sharedWriter.
+     * Only shared-pool workloads (shared_queue) honor these.
+     */
+    std::string sharedPoolPath;
+    /** Role in the shared pool: 1 = producer, 2 = consumer. */
+    std::uint32_t sharedWriter = 0;
 };
 
 /** A runnable evaluation workload. */

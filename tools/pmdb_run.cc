@@ -11,6 +11,7 @@
  *            [--trace-out FILE] [--json] [--seed S]
  *            [--connect SOCKET] [--policy block|drop|spill]
  *            [--ring-slots N]
+ *            [--shared-pool FILE --writer N]
  *   pmdb_run --list
  *
  * With --connect, detection runs out-of-process: the event stream is
@@ -18,11 +19,17 @@
  * printed. The checker must be "pmdebugger" (that is what the daemon
  * runs).
  *
+ * With --shared-pool, the workload maps the given multi-writer pool
+ * file as writer N (shared-pool workloads only, e.g. shared_queue);
+ * combined with --connect, the daemon additionally merges all
+ * sessions on the same pool and runs the cross-session rules
+ * (pmdb_crossproc drives this two-writer setup end to end).
+ *
  *   checker: pmdebugger | pmemcheck | pmtest | xfdetector |
  *            persistence_inspector | nulgrind | none
  *   workload: b_tree, c_tree, r_tree, rb_tree, hashmap_tx,
  *             hashmap_atomic, synth_strand, memcached, redis,
- *             ycsb_a..ycsb_f
+ *             shared_queue, ycsb_a..ycsb_f
  */
 
 #include <cerrno>
@@ -149,7 +156,13 @@ main(int argc, char **argv)
                 return 2;
             }
             ring_slots = static_cast<std::uint32_t>(value);
-        } else if (arg == "--json")
+        } else if (arg == "--shared-pool")
+            options.sharedPoolPath = next();
+        else if (arg == "--writer")
+            options.sharedWriter =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr,
+                                                        10));
+        else if (arg == "--json")
             json = true;
         else {
             usage(argv[0]);
@@ -184,6 +197,8 @@ main(int argc, char **argv)
             ropts.spillPath = base + ".spill";
         ropts.model = workload->model();
         ropts.orderSpecText = workload->orderSpecText();
+        ropts.sharedPoolPath = options.sharedPoolPath;
+        ropts.sharedWriterId = options.sharedWriter;
 
         RemoteSink sink;
         std::string error;
