@@ -149,8 +149,8 @@ benchMain()
                 conf_low);
 
     std::string json =
-        "{\"bench\": \"advise\", \"cases\": " +
-        std::to_string(rows.size()) +
+        "{\"bench\": \"advise\", " + hostMetaJson() +
+        ", \"cases\": " + std::to_string(rows.size()) +
         ", \"confidence_full\": " + std::to_string(conf_full) +
         ", \"confidence_high\": " + std::to_string(conf_high) +
         ", \"confidence_low\": " + std::to_string(conf_low) +

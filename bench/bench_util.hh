@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -46,6 +47,30 @@ scaled(std::size_t ops)
                                  static_cast<std::size_t>(
                                      static_cast<double>(ops) *
                                      benchScale()));
+}
+
+/** Visible core count (never 0). */
+inline unsigned
+benchCores()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/**
+ * Host-metadata fragment for BENCH_*.json rows: the visible core
+ * count plus a core_limited flag set when the host has fewer cores
+ * than the benchmark's widest parallel phase (@p parallelism).
+ * Numbers measured core-limited reflect time-slicing, not capacity —
+ * downstream consumers filter on the flag. Splice right after the
+ * opening "bench" field so every emitter carries the same keys.
+ */
+inline std::string
+hostMetaJson(unsigned parallelism = 1)
+{
+    const unsigned cores = benchCores();
+    return "\"cores\": " + std::to_string(cores) +
+           ", \"core_limited\": " +
+           (cores < parallelism ? "true" : "false");
 }
 
 /**

@@ -228,7 +228,7 @@ benchMain()
     char json[1024];
     std::snprintf(
         json, sizeof(json),
-        "{\"bench\": \"crashsim\", "
+        "{\"bench\": \"crashsim\", %s, "
         "\"capture_points\": %llu, "
         "\"capture_points_per_sec_delta\": %.0f, "
         "\"capture_points_per_sec_naive\": %.0f, "
@@ -239,6 +239,7 @@ benchMain()
         "\"images_verified\": %llu, \"bugs_found\": %zu, "
         "\"parallel_speedup_4w\": %.2f, "
         "\"results_identical\": %s}",
+        hostMetaJson(4).c_str(),
         static_cast<unsigned long long>(delta.points),
         delta.pointsPerSec(), naive.pointsPerSec(), capture_speedup,
         static_cast<unsigned long long>(one.stats.points),

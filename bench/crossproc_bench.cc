@@ -190,7 +190,9 @@ benchMain()
                     cleanOn.crossBugs, seededOn.crossBugs, ops);
 
     std::ostringstream json;
-    json << "{\"bench\": \"crossproc\", \"ops\": " << ops
+    json << "{\"bench\": \"crossproc\", "
+         << hostMetaJson(static_cast<unsigned>(shards))
+         << ", \"ops\": " << ops
          << ", \"shards\": " << shards
          << ", \"events_per_sec_independent\": "
          << fmtDouble(rate(cleanOff), 0)

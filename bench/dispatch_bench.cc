@@ -190,7 +190,7 @@ benchMain()
     char json[1024];
     std::snprintf(
         json, sizeof(json),
-        "{\"bench\": \"dispatch\", \"cores\": %u, \"events\": %llu, "
+        "{\"bench\": \"dispatch\", %s, \"events\": %llu, "
         "\"events_per_sec_perevent\": %.0f, "
         "\"events_per_sec_batched\": %.0f, "
         "\"events_per_sec_async\": %.0f, "
@@ -198,7 +198,8 @@ benchMain()
         "\"fig8_b_tree_sync_s\": %.4f, \"fig8_b_tree_async_s\": %.4f, "
         "\"async_speedup\": %.3f, "
         "\"results_identical\": %s}",
-        cores, static_cast<unsigned long long>(per.events),
+        hostMetaJson(2).c_str(),
+        static_cast<unsigned long long>(per.events),
         per.eventsPerSec, bat.eventsPerSec, asy.eventsPerSec,
         batched_speedup, sync_run.seconds, async_run.seconds,
         async_speedup,

@@ -166,7 +166,7 @@ benchMain()
     char json[1024];
     std::snprintf(
         json, sizeof(json),
-        "{\"bench\": \"modelcheck\", "
+        "{\"bench\": \"modelcheck\", %s, "
         "\"workload\": \"hashmap_atomic\", \"ops\": %zu, "
         "\"depth\": 3, "
         "\"distinct_states\": %llu, \"executions\": %llu, "
@@ -178,7 +178,7 @@ benchMain()
         "\"coverage_ratio\": %.2f, "
         "\"workers_identical\": %s, "
         "\"seeded_bug_found\": %s}",
-        ops,
+        hostMetaJson(4).c_str(), ops,
         static_cast<unsigned long long>(mc.stats.distinctStates),
         static_cast<unsigned long long>(mc.stats.executions),
         static_cast<unsigned long long>(mc.stats.prunedCandidates),

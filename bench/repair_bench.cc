@@ -131,8 +131,8 @@ benchMain()
     }
 
     std::string json =
-        "{\"bench\": \"repair\", \"cases\": " +
-        std::to_string(rows.size()) +
+        "{\"bench\": \"repair\", " + hostMetaJson(4) +
+        ", \"cases\": " + std::to_string(rows.size()) +
         ", \"shrink_5x_cases\": " + std::to_string(shrink5x) +
         ", \"verified_patches\": " + std::to_string(verified_count) +
         ", \"minimize_replays\": " + std::to_string(total_min_replays) +

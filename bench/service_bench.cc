@@ -392,11 +392,9 @@ benchMain()
     // hosts with fewer cores than clients measure time-slicing, not
     // ingestion capacity — flag them for downstream consumers.
     constexpr unsigned maxClients = 8;
-    const bool core_limited = cores < maxClients;
 
     std::ostringstream json;
-    json << "{\"bench\": \"service\", \"cores\": " << cores
-         << ", \"core_limited\": " << (core_limited ? "true" : "false")
+    json << "{\"bench\": \"service\", " << hostMetaJson(maxClients)
          << ", \"shard_stream_events\": " << stream.size()
          << ", \"events_per_sec_shard1\": "
          << fmtDouble(s1.eventsPerSec, 0)

@@ -1,7 +1,9 @@
 #include "logging.hh"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "types.hh"
 
@@ -49,8 +51,25 @@ Logger::threshold()
     return level;
 }
 
+namespace
+{
+
+/** Monotonic seconds since the first log line of the process. */
+double
+secondsSinceStart()
+{
+    static const std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 void
-Logger::log(LogLevel level, const std::string &msg)
+Logger::log(LogLevel level, const std::string &msg,
+            const std::string &component)
 {
     if (level < threshold())
         return;
@@ -62,7 +81,13 @@ Logger::log(LogLevel level, const std::string &msg)
       case LogLevel::Error: tag = "error"; break;
       case LogLevel::None:  return;
     }
-    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    if (component.empty()) {
+        std::fprintf(stderr, "[%.3fs %s] %s\n", secondsSinceStart(),
+                     tag, msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%.3fs %s %s] %s\n", secondsSinceStart(),
+                     tag, component.c_str(), msg.c_str());
+    }
 }
 
 void
@@ -72,15 +97,33 @@ inform(const std::string &msg)
 }
 
 void
+inform(const std::string &component, const std::string &msg)
+{
+    Logger::log(LogLevel::Info, msg, component);
+}
+
+void
 warn(const std::string &msg)
 {
     Logger::log(LogLevel::Warn, msg);
 }
 
 void
+warn(const std::string &component, const std::string &msg)
+{
+    Logger::log(LogLevel::Warn, msg, component);
+}
+
+void
 logError(const std::string &msg)
 {
     Logger::log(LogLevel::Error, msg);
+}
+
+void
+logError(const std::string &component, const std::string &msg)
+{
+    Logger::log(LogLevel::Error, msg, component);
 }
 
 void

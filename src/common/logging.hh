@@ -45,15 +45,30 @@ class Logger
   public:
     static LogLevel &threshold();
 
-    static void log(LogLevel level, const std::string &msg);
+    /**
+     * Emit one line as
+     * `[<seconds-since-start>s <level> <component>] <msg>` — e.g.
+     * `[12.345s warn pmdbd/poller] ring full`. The timestamp is
+     * monotonic seconds since the first log call of the process, so
+     * interleaved daemon/client stderr can be ordered by eye.
+     * @p component may be empty (plain `[12.345s warn] msg`).
+     */
+    static void log(LogLevel level, const std::string &msg,
+                    const std::string &component = std::string());
 };
 
 /** Log at Info level. */
 void inform(const std::string &msg);
+/** Log at Info level with a component tag ("pmdbd/poller"). */
+void inform(const std::string &component, const std::string &msg);
 /** Log at Warn level. */
 void warn(const std::string &msg);
+/** Log at Warn level with a component tag. */
+void warn(const std::string &component, const std::string &msg);
 /** Log at Error level. */
 void logError(const std::string &msg);
+/** Log at Error level with a component tag. */
+void logError(const std::string &component, const std::string &msg);
 
 /**
  * Abort due to an internal bug: an invariant that should hold regardless

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "telemetry/metrics.hh"
+
 namespace pmdb
 {
 
@@ -108,6 +110,12 @@ BugCollector::report(const BugReport &report)
     if (!inserted)
         return false;
     bugs_.push_back(report);
+    if (telemetry::enabled()) {
+        static telemetry::Counter &reported =
+            telemetry::Registry::global().counter(
+                "detector.bugs_reported");
+        reported.add(1);
+    }
     return true;
 }
 

@@ -87,8 +87,61 @@ PmDebugger::currentSpace() const
     return *current_;
 }
 
+namespace
+{
+
+/** Per-rule-class eval-latency histograms, resolved once. The class
+ *  labels group event kinds by which rule hook list they drive. */
+struct DetectorMetrics
+{
+    telemetry::Histogram &store = telemetry::Registry::global()
+        .histogram("detector.eval_ns{class=\"store\"}");
+    telemetry::Histogram &flush = telemetry::Registry::global()
+        .histogram("detector.eval_ns{class=\"flush\"}");
+    telemetry::Histogram &fence = telemetry::Registry::global()
+        .histogram("detector.eval_ns{class=\"fence\"}");
+    telemetry::Histogram &epoch = telemetry::Registry::global()
+        .histogram("detector.eval_ns{class=\"epoch\"}");
+    telemetry::Histogram &other = telemetry::Registry::global()
+        .histogram("detector.eval_ns{class=\"other\"}");
+    telemetry::Histogram &storeRun = telemetry::Registry::global()
+        .histogram("detector.store_run_ns");
+
+    telemetry::Histogram &
+    byKind(EventKind kind)
+    {
+        switch (kind) {
+          case EventKind::Store:      return store;
+          case EventKind::Flush:      return flush;
+          case EventKind::Fence:
+          case EventKind::JoinStrand: return fence;
+          case EventKind::EpochBegin:
+          case EventKind::EpochEnd:   return epoch;
+          default:                    return other;
+        }
+    }
+
+    static DetectorMetrics &
+    get()
+    {
+        static DetectorMetrics instance;
+        return instance;
+    }
+};
+
+} // namespace
+
 void
-PmDebugger::handle(const Event &event)
+PmDebugger::handleEventTimed(const Event &event)
+{
+    const std::uint64_t start = telemetry::nowNs();
+    handleEvent(event);
+    DetectorMetrics::get().byKind(event.kind).record(
+        telemetry::nowNs() - start);
+}
+
+void
+PmDebugger::handleEvent(const Event &event)
 {
     lastSeq_ = event.seq;
     switch (event.kind) {
@@ -161,7 +214,21 @@ PmDebugger::handleBatch(const Event *events, std::size_t count)
         while (j < count && events[j].kind == EventKind::Store &&
                events[j].strand == head.strand)
             ++j;
-        processStoreRun(events + i, j - i);
+        // The run bypasses handle(); advance the sample tick by the
+        // run length and time the whole run when a sample point falls
+        // inside it (same 1-in-1024 event rate as the per-event path).
+        const std::uint64_t tickBefore = telemetryTick_;
+        telemetryTick_ += j - i;
+        if ((tickBefore >> telemetrySampleShift) !=
+                (telemetryTick_ >> telemetrySampleShift) &&
+            telemetry::enabled()) {
+            const std::uint64_t start = telemetry::nowNs();
+            processStoreRun(events + i, j - i);
+            DetectorMetrics::get().storeRun.record(telemetry::nowNs() -
+                                                   start);
+        } else {
+            processStoreRun(events + i, j - i);
+        }
         i = j;
     }
 }

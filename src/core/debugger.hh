@@ -35,6 +35,7 @@
 #include "core/mem_array.hh"
 #include "core/rules.hh"
 #include "core/stats.hh"
+#include "telemetry/metrics.hh"
 #include "trace/sink.hh"
 
 namespace pmdb
@@ -50,8 +51,31 @@ class PmDebugger : public TraceSink, public DebugContext
     PmDebugger(const PmDebugger &) = delete;
     PmDebugger &operator=(const PmDebugger &) = delete;
 
-    /** TraceSink: process one instrumented event. */
-    void handle(const Event &event) override;
+    /**
+     * Sample 1 event in 2^telemetrySampleShift into the eval-latency
+     * histograms. 1024 keeps the two clock reads plus histogram
+     * update per sample under the telemetry budget (<2% of dispatch,
+     * see bench/telemetry_bench) while a busy session still lands
+     * thousands of samples per second.
+     */
+    static constexpr std::uint64_t telemetrySampleShift = 10;
+
+    /**
+     * TraceSink: process one instrumented event. Every 1024th event
+     * is timed into the per-rule-class eval histograms
+     * (detector.eval_ns{class=...}) — sampling keeps the clock reads
+     * off the common path while the log2 buckets still converge to
+     * the true latency distribution.
+     */
+    void handle(const Event &event) override
+    {
+        constexpr std::uint64_t mask =
+            (std::uint64_t{1} << telemetrySampleShift) - 1;
+        if ((++telemetryTick_ & mask) == 0 && telemetry::enabled())
+            handleEventTimed(event);
+        else
+            handleEvent(event);
+    }
 
     /**
      * TraceSink: batched fast path. Runs of consecutive Store events in
@@ -125,6 +149,11 @@ class PmDebugger : public TraceSink, public DebugContext
     const Space &currentSpace() const;
     void indexRule(Rule *rule);
 
+    /** The event-kind dispatch switch behind handle(). */
+    void handleEvent(const Event &event);
+    /** handleEvent with sampled per-class eval timing (telemetry). */
+    void handleEventTimed(const Event &event);
+
     void processStore(const Event &event);
     void processStoreRun(const Event *events, std::size_t count);
     void processFlush(const Event &event);
@@ -162,6 +191,8 @@ class PmDebugger : public TraceSink, public DebugContext
     bool strandsActive_ = false;
     bool finalized_ = false;
     SeqNum lastSeq_ = 0;
+    /** Event counter driving the 1-in-64 eval-timing sample. */
+    std::uint64_t telemetryTick_ = 0;
 };
 
 } // namespace pmdb

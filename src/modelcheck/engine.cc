@@ -11,6 +11,7 @@
 #include "crashsim/explore.hh"
 #include "modelcheck/pruner.hh"
 #include "service/remote_sink.hh"
+#include "telemetry/metrics.hh"
 
 namespace pmdb
 {
@@ -170,6 +171,9 @@ ModelChecker::run()
 
     while (!frontier.empty() && !stats.budgetExhausted) {
         ++stats.rounds;
+        const bool telemetryOn = telemetry::enabled();
+        const std::uint64_t roundStart =
+            telemetryOn ? telemetry::nowNs() : 0;
         std::vector<GroupOutcome> outcomes(frontier.size());
 
         // Parallel phase: the cache is frozen (read-only), so each
@@ -247,6 +251,11 @@ ModelChecker::run()
                     break;
                 }
             }
+        }
+        if (telemetryOn) {
+            telemetry::Registry::global()
+                .histogram("modelcheck.round_ns")
+                .record(telemetry::nowNs() - roundStart);
         }
         frontier = std::move(next_frontier);
     }

@@ -15,6 +15,8 @@
 #include "service/cpu_pin.hh"
 #include "service/spsc_ring.hh"
 #include "service/transport.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "trace/trace_file.hh"
 
 namespace pmdb
@@ -22,6 +24,29 @@ namespace pmdb
 
 namespace
 {
+
+/** Poller drain-path metrics, resolved once; touched per frame. */
+struct DrainMetrics
+{
+    telemetry::Counter &framesDrained = telemetry::Registry::global()
+        .counter("pmdbd.frames_drained");
+    telemetry::Counter &eventsDrained = telemetry::Registry::global()
+        .counter("pmdbd.events_drained");
+    telemetry::Histogram &drainBatchEvents =
+        telemetry::Registry::global().histogram(
+            "pmdbd.drain_batch_events");
+    /** Publish-to-drain latency via the ring's frame stamp. */
+    telemetry::Histogram &ringResidencyNs =
+        telemetry::Registry::global().histogram(
+            "pmdbd.ring_residency_ns");
+
+    static DrainMetrics &
+    get()
+    {
+        static DrainMetrics instance;
+        return instance;
+    }
+};
 
 /**
  * Normalize the daemon config and derive the pool's pinning layout:
@@ -131,6 +156,18 @@ ServiceDaemon::start(std::string *error)
         pollers_.push_back(std::move(poller));
     }
     acceptThread_ = std::thread([this] { acceptLoop(); });
+    if (!config_.metricsSocketPath.empty()) {
+        metricsFd_ = listenUnix(config_.metricsSocketPath, error);
+        if (metricsFd_ < 0) {
+            stop();
+            return false;
+        }
+        metricsThread_ = std::thread([this] { metricsLoop(); });
+    }
+    if (config_.statsIntervalSec)
+        statsThread_ = std::thread([this] { statsLoop(); });
+    if (!config_.traceOutPath.empty())
+        telemetry::setSpansEnabled(true);
     running_ = true;
     return true;
 }
@@ -157,10 +194,29 @@ ServiceDaemon::stop()
             lock, [this] { return outstandingCloses_.load() == 0; });
     }
     pool_.stop();
+    if (metricsThread_.joinable())
+        metricsThread_.join();
+    if (statsThread_.joinable())
+        statsThread_.join();
+    if (metricsFd_ >= 0) {
+        ::close(metricsFd_);
+        metricsFd_ = -1;
+        std::remove(config_.metricsSocketPath.c_str());
+    }
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
         std::remove(config_.socketPath.c_str());
+    }
+    if (!config_.traceOutPath.empty()) {
+        if (telemetry::SpanBuffer::global().writeChromeTrace(
+                config_.traceOutPath)) {
+            inform("pmdbd", "wrote span trace to " +
+                   config_.traceOutPath);
+        } else {
+            warn("pmdbd", "cannot write span trace to " +
+                 config_.traceOutPath);
+        }
     }
     running_ = false;
 }
@@ -203,13 +259,139 @@ ServiceDaemon::ingestStats() const
     return stats;
 }
 
+telemetry::MetricsSnapshot
+ServiceDaemon::metricsSnapshot() const
+{
+    telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    const IngestStats ingest = ingestStats();
+    snap.addCounter("pmdbd.polls", ingest.polls);
+    snap.addCounter("pmdbd.idle_polls", ingest.idlePolls);
+    snap.addCounter("pmdbd.steals", pool_.stealCount());
+    snap.addCounter("pmdbd.straddles", pool_.straddleCount());
+    const std::vector<ShardStats> shards = pool_.shardStats();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const std::string label =
+            "{shard=\"" + std::to_string(i) + "\"}";
+        snap.addCounter("pmdbd.shard.batches" + label,
+                        shards[i].batches);
+        snap.addCounter("pmdbd.shard.events" + label,
+                        shards[i].events);
+        snap.addCounter("pmdbd.shard.steals" + label,
+                        shards[i].steals);
+        snap.addGauge("pmdbd.shard.queue_depth" + label,
+                      static_cast<std::int64_t>(shards[i].queueDepth));
+    }
+    // Per-session ingest: completed sessions from their summaries,
+    // live ones read in place. Live counters are written by the
+    // owning poller without synchronization — a monitoring-only racy
+    // read, never fed back into detection.
+    const auto addSession = [&](SessionId id, std::uint64_t events,
+                                std::uint64_t batches, double seconds,
+                                bool live) {
+        const std::string label =
+            "{session=\"" + std::to_string(id) + "\"}";
+        snap.addCounter("pmdbd.session.events" + label, events);
+        snap.addCounter("pmdbd.session.batches" + label, batches);
+        snap.addGauge("pmdbd.session.millis" + label,
+                      static_cast<std::int64_t>(seconds * 1000.0));
+        snap.addGauge("pmdbd.session.live" + label, live ? 1 : 0);
+    };
+    for (const SessionSummary &session : summaries()) {
+        addSession(session.id, session.eventsProcessed,
+                   session.batchesDrained, session.seconds, false);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto &poller : pollers_) {
+        std::lock_guard<std::mutex> lock(poller->mutex);
+        for (const auto &session : poller->sessions) {
+            if (session->phase != ActiveSession::Phase::Streaming)
+                continue;
+            addSession(session->id, session->summary.eventsProcessed,
+                       session->summary.batchesDrained,
+                       std::chrono::duration<double>(
+                           now - session->started)
+                           .count(),
+                       true);
+        }
+    }
+    snap.addGauge("pmdbd.sessions_completed",
+                  static_cast<std::int64_t>(completedSessions()));
+    snap.addGauge(
+        "pmdbd.crossproc.groups_completed",
+        static_cast<std::int64_t>(crossproc_.results().size()));
+    snap.sortByName();
+    return snap;
+}
+
+void
+ServiceDaemon::metricsLoop()
+{
+    while (!stopping_.load()) {
+        if (!readable(metricsFd_, 200))
+            continue;
+        const int fd = ::accept(metricsFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // One request line per connection: "prom" for Prometheus
+        // text, anything else (including EOF) serves JSON.
+        char buf[16] = {};
+        ssize_t got = 0;
+        if (readable(fd, 1000))
+            got = ::read(fd, buf, sizeof(buf) - 1);
+        const bool prom =
+            got >= 4 && std::string(buf, 4) == "prom";
+        const telemetry::MetricsSnapshot snap = metricsSnapshot();
+        const std::string reply =
+            prom ? snap.toPrometheus() : snap.toJson() + "\n";
+        std::size_t sent = 0;
+        while (sent < reply.size()) {
+            const ssize_t n = ::write(fd, reply.data() + sent,
+                                      reply.size() - sent);
+            if (n <= 0)
+                break;
+            sent += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+    }
+}
+
+void
+ServiceDaemon::statsLoop()
+{
+    auto next = std::chrono::steady_clock::now();
+    while (!stopping_.load()) {
+        next += std::chrono::seconds(config_.statsIntervalSec);
+        while (!stopping_.load() &&
+               std::chrono::steady_clock::now() < next) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        if (stopping_.load())
+            return;
+        const IngestStats ingest = ingestStats();
+        std::uint64_t events = 0, steals = 0;
+        for (const ShardStats &shard : pool_.shardStats()) {
+            events += shard.events;
+            steals += shard.steals;
+        }
+        std::ostringstream line;
+        line << "sessions=" << completedSessions()
+             << " events=" << events << " steals=" << steals
+             << " polls=" << ingest.polls << " idle_ratio=";
+        line.precision(3);
+        line << std::fixed << ingest.idleRatio();
+        inform("pmdbd/stats", line.str());
+    }
+}
+
 std::string
 ServiceDaemon::aggregatedJson() const
 {
     const std::vector<SessionSummary> sessions = summaries();
     const IngestStats ingest = ingestStats();
     std::ostringstream out;
-    out << "{\"shards\": " << pool_.shardCount()
+    out << "{\"schema\": 2, \"shards\": " << pool_.shardCount()
         << ", \"stripe_bytes\": " << pool_.stripeBytes()
         << ", \"straddles\": " << pool_.straddleCount()
         << ", \"pollers\": " << config_.pollers
@@ -225,7 +407,8 @@ ServiceDaemon::aggregatedJson() const
         first = false;
         out << "{\"batches\": " << shard.batches
             << ", \"events\": " << shard.events
-            << ", \"steals\": " << shard.steals << "}";
+            << ", \"steals\": " << shard.steals
+            << ", \"queue_depth\": " << shard.queueDepth << "}";
     }
     out << "], \"sessions\": [";
     first = true;
@@ -252,7 +435,10 @@ ServiceDaemon::aggregatedJson() const
             << (session.aborted ? "true" : "false") << ", \"report\": "
             << reportToJson(bugs, session.verdict.stats) << "}";
     }
-    out << "], \"crossproc\": " << crossproc_.resultsJson() << "}";
+    // The same snapshot the metrics endpoint serves, embedded whole:
+    // the two outputs render one structure and cannot drift.
+    out << "], \"crossproc\": " << crossproc_.resultsJson()
+        << ", \"metrics\": " << metricsSnapshot().toJson() << "}";
     return out.str();
 }
 
@@ -443,7 +629,7 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
                 // A truncated Bye would silently zero the spill
                 // accounting and drop the spilled tail from the
                 // report; treat the session as aborted instead.
-                warn("service: malformed Bye; aborting session " +
+                warn("pmdbd/poller", "malformed Bye; aborting session " +
                      std::to_string(session.id));
                 beginClose(sp, /*aborted=*/true);
                 return true;
@@ -472,6 +658,34 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
             progressed = true;
             ++session.summary.batchesDrained;
             session.summary.eventsProcessed += popped;
+            if (telemetry::enabled()) {
+                DrainMetrics &metrics = DrainMetrics::get();
+                const std::uint64_t now = telemetry::nowNs();
+                metrics.framesDrained.add(1);
+                metrics.eventsDrained.add(popped);
+                metrics.drainBatchEvents.record(popped);
+                // Publish stamp of the newest frame in the drained
+                // span: a lower bound on how long these events sat in
+                // the ring (same-host CLOCK_MONOTONIC on both sides).
+                const std::uint64_t published =
+                    session.ring.lastPublishNs();
+                if (published && published <= now) {
+                    const std::uint64_t residency = now - published;
+                    metrics.ringResidencyNs.record(residency);
+                    if (telemetry::spansEnabled()) {
+                        telemetry::Span span;
+                        span.name = "ring.residency";
+                        span.category = "pmdbd";
+                        span.startNs = published;
+                        span.durNs = residency;
+                        span.track = session.id;
+                        span.arg =
+                            "events=" + std::to_string(popped);
+                        telemetry::SpanBuffer::global().record(
+                            std::move(span));
+                    }
+                }
+            }
             if (!session.hello.sharedPoolPath.empty()) {
                 crossproc_.feed(session.id, session.scratch.data(),
                                 popped);
@@ -496,7 +710,7 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
             if (readTraceStream(session.hello.spillPath, &spill,
                                 &truncated, &error)) {
                 if (truncated) {
-                    warn("service: spill trace " +
+                    warn("pmdbd/poller", "spill trace " +
                          session.hello.spillPath +
                          " has a truncated tail");
                 }
@@ -510,7 +724,7 @@ ServiceDaemon::pollSession(const std::shared_ptr<ActiveSession> &sp)
                 session.summary.eventsProcessed +=
                     spill.events.size();
             } else {
-                warn("service: cannot replay spill trace: " + error);
+                warn("pmdbd/poller", "cannot replay spill trace: " + error);
             }
         }
         beginClose(sp, /*aborted=*/false);

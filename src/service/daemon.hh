@@ -35,6 +35,7 @@
 #include "crossproc/engine.hh"
 #include "service/protocol.hh"
 #include "service/shard.hh"
+#include "telemetry/metrics.hh"
 
 namespace pmdb
 {
@@ -55,6 +56,17 @@ struct ServiceConfig
      * (pollers first, then workers). Opt-in: `pmdbd --pin-cores`.
      */
     bool pinCores = false;
+    /**
+     * When non-empty, serve live metric snapshots on this Unix socket
+     * (`pmdbd --metrics-sock`): a connection sends one request line —
+     * "json" or "prom" — and receives the snapshot in that format.
+     * pmdb_stat is the bundled client.
+     */
+    std::string metricsSocketPath;
+    /** Log a one-line ingest summary every N seconds (0 = off). */
+    unsigned statsIntervalSec = 0;
+    /** Enable span tracing and write Chrome trace JSON here at stop. */
+    std::string traceOutPath;
 };
 
 /** Per-session attribution kept by the aggregated collector. */
@@ -137,6 +149,17 @@ class ServiceDaemon
     std::string aggregatedJson() const;
 
     /**
+     * The unified metric view: the process-global telemetry registry
+     * plus dynamic daemon state folded in under the same naming scheme
+     * — poller counters ("pmdbd.polls"), per-shard execution counters
+     * ("pmdbd.shard.events{shard=\"0\"}"), and per-session ingest
+     * ("pmdbd.session.events{session=\"1\"}", completed sessions and a
+     * racy monitoring-only read of live ones). Both the metrics
+     * endpoint and aggregatedJson() render this one snapshot.
+     */
+    telemetry::MetricsSnapshot metricsSnapshot() const;
+
+    /**
      * Verdicts of completed shared-pool groups (sessions that
      * announced the same sharedPoolPath in their Hello). Empty until
      * every member of a group has finished.
@@ -153,6 +176,8 @@ class ServiceDaemon
     struct Poller;
 
     void acceptLoop();
+    void metricsLoop();
+    void statsLoop();
     void pollerLoop(Poller &poller);
     /** One sweep step for one session; true when progress was made. */
     bool pollSession(const std::shared_ptr<ActiveSession> &session);
@@ -165,7 +190,10 @@ class ServiceDaemon
     /** Cross-session rule engine for shared-pool session groups. */
     CrossprocEngine crossproc_;
     int listenFd_ = -1;
+    int metricsFd_ = -1;
     std::thread acceptThread_;
+    std::thread metricsThread_;
+    std::thread statsThread_;
     std::vector<std::unique_ptr<Poller>> pollers_;
     std::atomic<std::size_t> nextPoller_{0};
 

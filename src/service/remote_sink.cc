@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "service/transport.hh"
+#include "telemetry/metrics.hh"
 
 namespace pmdb
 {
@@ -23,6 +24,31 @@ fail(std::string *error, const std::string &message)
         *error = message;
     return false;
 }
+
+/** Publish-path metrics, resolved once; touched per frame, not per
+ *  event. */
+struct SinkMetrics
+{
+    telemetry::Counter &frames =
+        telemetry::Registry::global().counter("client.sink.frames");
+    telemetry::Counter &events =
+        telemetry::Registry::global().counter("client.sink.events");
+    telemetry::Counter &spilled =
+        telemetry::Registry::global().counter("client.sink.spilled");
+    telemetry::Counter &droppedEvents =
+        telemetry::Registry::global().counter("client.sink.dropped");
+    telemetry::Histogram &publishNs =
+        telemetry::Registry::global().histogram("client.sink.publish_ns");
+    telemetry::Histogram &blockStallNs = telemetry::Registry::global()
+        .histogram("client.sink.block_stall_ns");
+
+    static SinkMetrics &
+    get()
+    {
+        static SinkMetrics instance;
+        return instance;
+    }
+};
 
 } // namespace
 
@@ -117,18 +143,27 @@ RemoteSink::flushBatch()
     std::size_t remaining = batch_.size();
     if (!remaining)
         return;
+    const bool telemetryOn = telemetry::enabled();
+    const std::uint64_t publishStart =
+        telemetryOn ? telemetry::nowNs() : 0;
+    const std::size_t batchTotal = remaining;
     if (spilling_) {
         for (std::size_t i = 0; i < remaining; ++i) {
             if (spill_.append(events[i]))
                 ++spilled_;
         }
+        if (telemetryOn)
+            SinkMetrics::get().spilled.add(remaining);
         batch_.clear();
         return;
     }
 
     std::size_t accepted = ring_.tryPushBatch(events, remaining);
-    if (accepted)
+    if (accepted) {
         ++frames_;
+        if (telemetryOn)
+            ring_.stampPublish(telemetry::nowNs());
+    }
     pushed_ += accepted;
     events += accepted;
     remaining -= accepted;
@@ -143,11 +178,15 @@ RemoteSink::flushBatch()
             // gone, so probe the control socket every ~10ms and cut
             // the stream rather than hang the instrumented
             // application forever.
+            const std::uint64_t stallStart =
+                telemetryOn ? telemetry::nowNs() : 0;
             int sleeps = 0;
             while (remaining) {
                 accepted = ring_.tryPushBatch(events, remaining);
                 if (accepted) {
                     ++frames_;
+                    if (telemetryOn)
+                        ring_.stampPublish(telemetry::nowNs());
                     pushed_ += accepted;
                     events += accepted;
                     remaining -= accepted;
@@ -160,12 +199,16 @@ RemoteSink::flushBatch()
                     sleeps = 0;
                     if (peerClosed(fd_)) {
                         dead_ = true;
-                        warn("service client: daemon vanished while "
+                        warn("client/sink", "daemon vanished while "
                              "blocked on a full ring; stream cut");
                         batch_.clear();
                         return;
                     }
                 }
+            }
+            if (telemetryOn) {
+                SinkMetrics::get().blockStallNs.record(
+                    telemetry::nowNs() - stallStart);
             }
             break;
           }
@@ -173,6 +216,8 @@ RemoteSink::flushBatch()
             for (std::size_t i = 0; i < remaining; ++i)
                 ring_.countDrop();
             dropped_ += remaining;
+            if (telemetryOn)
+                SinkMetrics::get().droppedEvents.add(remaining);
             break;
           case SlowConsumerPolicy::Spill:
             spilling_ = true;
@@ -181,8 +226,16 @@ RemoteSink::flushBatch()
                 if (spill_.append(events[i]))
                     ++spilled_;
             }
+            if (telemetryOn)
+                SinkMetrics::get().spilled.add(batchTotal - accepted);
             break;
         }
+    }
+    if (telemetryOn) {
+        SinkMetrics &metrics = SinkMetrics::get();
+        metrics.frames.add(1);
+        metrics.events.add(batchTotal);
+        metrics.publishNs.record(telemetry::nowNs() - publishStart);
     }
     batch_.clear();
 }
@@ -203,7 +256,7 @@ RemoteSink::handle(const Event &event)
         return;
     if (!ensureNamesSent(event.nameId)) {
         dead_ = true;
-        warn("service client: control plane failed; stream cut");
+        warn("client/sink", "control plane failed; stream cut");
         return;
     }
     append(event);
@@ -218,7 +271,7 @@ RemoteSink::handleBatch(const Event *events, std::size_t count)
     for (std::size_t i = 0; i < count; ++i) {
         if (!ensureNamesSent(events[i].nameId)) {
             dead_ = true;
-            warn("service client: control plane failed; stream cut");
+            warn("client/sink", "control plane failed; stream cut");
             return;
         }
         append(events[i]);

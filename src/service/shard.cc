@@ -8,12 +8,35 @@
 #include "common/logging.hh"
 #include "core/order_spec.hh"
 #include "service/cpu_pin.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 
 namespace pmdb
 {
 
 namespace
 {
+
+/** Shard-path metrics, resolved once; touched per task, not per
+ *  event. Histograms merge across shards deterministically. */
+struct ShardMetrics
+{
+    telemetry::Histogram &queueWaitNs = telemetry::Registry::global()
+        .histogram("pmdbd.shard.queue_wait_ns");
+    telemetry::Histogram &evalNs = telemetry::Registry::global()
+        .histogram("pmdbd.shard.eval_ns");
+    telemetry::Histogram &verdictNs = telemetry::Registry::global()
+        .histogram("pmdbd.shard.verdict_ns");
+    telemetry::Counter &tasks =
+        telemetry::Registry::global().counter("pmdbd.shard.tasks");
+
+    static ShardMetrics &
+    get()
+    {
+        static ShardMetrics instance;
+        return instance;
+    }
+};
 
 /** Events routed by address; everything else is broadcast. */
 bool
@@ -77,6 +100,8 @@ struct ShardPool::Task
     };
 
     Kind kind = Kind::Events;
+    /** Enqueue stamp for the queue-wait telemetry stage (0 = off). */
+    std::uint64_t enqueuedNs = 0;
     /** Open */
     DebuggerConfig config;
     /** Name */
@@ -207,6 +232,11 @@ ShardPool::enqueueLocked(SessionShard &queue, Task task)
 {
     if (task.kind == Task::Kind::Events)
         ++queue.eventsTasks;
+    if (telemetry::enabled()) {
+        task.enqueuedNs = telemetry::nowNs();
+        counters_[queue.shard]->queueDepth.fetch_add(
+            1, std::memory_order_relaxed);
+    }
     queue.queue.push_back(std::move(task));
     markReadyLocked(queue);
 }
@@ -420,6 +450,10 @@ ShardPool::closeSession(SessionId session,
 void
 ShardPool::mergeAndFinish(CloseState &close)
 {
+    const bool telemetryOn = telemetry::enabled();
+    const std::uint64_t start = telemetryOn ? telemetry::nowNs() : 0;
+    telemetry::SpanTimer span("session.verdict", "pmdbd",
+                              close.session);
     // Merge: home shard first so that, at equal seq, its chronological
     // ordering wins; client-reported external bugs come last at equal
     // seq (in-process detection reports at an event before a manual
@@ -448,6 +482,10 @@ ShardPool::mergeAndFinish(CloseState &close)
     }
     for (const DebuggerStats &part : close.stats)
         mergeStats(&verdict.stats, part);
+    if (telemetryOn) {
+        ShardMetrics::get().verdictNs.record(telemetry::nowNs() -
+                                             start);
+    }
     if (close.done)
         close.done(std::move(verdict));
 }
@@ -469,6 +507,8 @@ ShardPool::shardStats() const
             counters_[i]->events.load(std::memory_order_relaxed);
         stats[i].steals =
             counters_[i]->steals.load(std::memory_order_relaxed);
+        stats[i].queueDepth =
+            counters_[i]->queueDepth.load(std::memory_order_relaxed);
     }
     return stats;
 }
@@ -486,6 +526,27 @@ void
 ShardPool::runTask(SessionShard &queue, Task &task)
 {
     Counters &counters = *counters_[queue.shard];
+    const bool telemetryOn = telemetry::enabled();
+    if (telemetryOn) {
+        ShardMetrics &metrics = ShardMetrics::get();
+        metrics.tasks.add(1);
+        if (task.enqueuedNs) {
+            const std::uint64_t wait =
+                telemetry::nowNs() - task.enqueuedNs;
+            metrics.queueWaitNs.record(wait);
+            if (telemetry::spansEnabled() &&
+                task.kind == Task::Kind::Events) {
+                telemetry::Span span;
+                span.name = "shard.queue_wait";
+                span.category = "pmdbd";
+                span.startNs = task.enqueuedNs;
+                span.durNs = wait;
+                span.track = queue.session;
+                telemetry::SpanBuffer::global().record(
+                    std::move(span));
+            }
+        }
+    }
     switch (task.kind) {
       case Task::Kind::Open:
         queue.debugger = std::make_unique<PmDebugger>(task.config);
@@ -494,26 +555,36 @@ ShardPool::runTask(SessionShard &queue, Task &task)
       case Task::Kind::Name: {
         const std::uint32_t id = queue.names.intern(task.name);
         if (id != task.nameId) {
-            warn("service shard: name id mismatch (got " +
+            warn("pmdbd/shard", "name id mismatch (got " +
                  std::to_string(id) + ", expected " +
                  std::to_string(task.nameId) + ")");
         }
         break;
       }
-      case Task::Kind::Events:
+      case Task::Kind::Events: {
         if (queue.shard == config_.slowShard &&
             config_.slowShardDelayUs) {
             std::this_thread::sleep_for(std::chrono::microseconds(
                 config_.slowShardDelayUs));
         }
         if (queue.debugger) {
+            telemetry::SpanTimer span(
+                "shard.rule_eval", "pmdbd", queue.session,
+                "events=" + std::to_string(task.events.size()));
+            const std::uint64_t start =
+                telemetryOn ? telemetry::nowNs() : 0;
             queue.debugger->handleBatch(task.events.data(),
                                         task.events.size());
+            if (telemetryOn) {
+                ShardMetrics::get().evalNs.record(telemetry::nowNs() -
+                                                  start);
+            }
         }
         counters.batches.fetch_add(1, std::memory_order_relaxed);
         counters.events.fetch_add(task.events.size(),
                                   std::memory_order_relaxed);
         break;
+      }
       case Task::Kind::Close: {
         std::vector<BugReport> bugs;
         DebuggerStats stats;
@@ -578,6 +649,16 @@ ShardPool::workerLoop(std::size_t index)
         std::deque<Task> taken;
         taken.swap(queue->queue);
         queue->eventsTasks = 0;
+        // Only stamped tasks bumped the depth (the counter and the
+        // stamp are set together), so the decrement can never
+        // underflow if telemetry was toggled mid-run.
+        std::uint64_t stamped = 0;
+        for (const Task &task : taken)
+            stamped += task.enqueuedNs != 0;
+        if (stamped) {
+            counters_[queue->shard]->queueDepth.fetch_sub(
+                stamped, std::memory_order_relaxed);
+        }
         lock.unlock();
 
         bool sawClose = false;

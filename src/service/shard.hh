@@ -126,6 +126,8 @@ struct ShardStats
     std::uint64_t events = 0;
     /** Queue leases taken by a worker of a different shard index. */
     std::uint64_t steals = 0;
+    /** Tasks currently enqueued across this shard's queues. */
+    std::uint64_t queueDepth = 0;
 };
 
 /**
@@ -262,6 +264,9 @@ class ShardPool
         std::atomic<std::uint64_t> batches{0};
         std::atomic<std::uint64_t> events{0};
         std::atomic<std::uint64_t> steals{0};
+        /** Live depth: bumped at enqueue, dropped when a lease takes
+         *  the backlog (whole-backlog granularity, like the lease). */
+        std::atomic<std::uint64_t> queueDepth{0};
     };
     std::vector<std::unique_ptr<Counters>> counters_;
     bool running_ = false;

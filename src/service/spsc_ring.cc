@@ -69,6 +69,7 @@ EventRing::create(const std::string &path, std::uint32_t slots,
     header_->head.store(0, std::memory_order_relaxed);
     header_->tail.store(0, std::memory_order_relaxed);
     header_->dropped.store(0, std::memory_order_relaxed);
+    header_->lastPublishNs.store(0, std::memory_order_relaxed);
     header_->producerDone.store(0, std::memory_order_release);
     slotsBase_ = reinterpret_cast<Event *>(
         reinterpret_cast<std::uint8_t *>(map) + sizeof(RingHeader));
@@ -224,6 +225,18 @@ std::uint64_t
 EventRing::droppedCount() const
 {
     return header_->dropped.load(std::memory_order_relaxed);
+}
+
+void
+EventRing::stampPublish(std::uint64_t ns)
+{
+    header_->lastPublishNs.store(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t
+EventRing::lastPublishNs() const
+{
+    return header_->lastPublishNs.load(std::memory_order_relaxed);
 }
 
 } // namespace pmdb

@@ -59,8 +59,8 @@
 namespace pmdb
 {
 
-/** Magic identifying a mapped ring file (v2: split cursor lines). */
-constexpr char ringMagic[8] = {'P', 'M', 'D', 'B', 'R', 'N', 'G', '2'};
+/** Magic identifying a mapped ring file (v3: publish timestamp). */
+constexpr char ringMagic[8] = {'P', 'M', 'D', 'B', 'R', 'N', 'G', '3'};
 
 /** Shared ring control block, at offset 0 of the mapping. */
 struct RingHeader
@@ -78,6 +78,13 @@ struct RingHeader
     alignas(64) std::atomic<std::uint64_t> head;
     /** Events discarded under SlowConsumerPolicy::Drop. */
     std::atomic<std::uint64_t> dropped;
+    /**
+     * CLOCK_MONOTONIC ns of the most recent published frame (same-host
+     * clocks are comparable across processes). The consumer subtracts
+     * it from its drain time for the ring-residency telemetry stage;
+     * frame-granular by design — a per-event stamp would widen Event.
+     */
+    std::atomic<std::uint64_t> lastPublishNs;
     /** Producer finished: once set, an empty ring is a finished ring. */
     std::atomic<std::uint32_t> producerDone;
     /** Consumer-owned cache line: tail is stored on every drain. */
@@ -156,6 +163,12 @@ class EventRing
     void countDrop();
 
     std::uint64_t droppedCount() const;
+
+    /** Producer: stamp the publish time of the frame just pushed. */
+    void stampPublish(std::uint64_t ns);
+
+    /** Consumer: publish stamp of the most recent frame (0 if none). */
+    std::uint64_t lastPublishNs() const;
 
   private:
     RingHeader *header_ = nullptr;

@@ -1,0 +1,147 @@
+#include "span.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+namespace pmdb
+{
+namespace telemetry
+{
+
+namespace
+{
+
+std::atomic<bool> &
+spanFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+} // namespace
+
+bool
+spansEnabled()
+{
+    return spanFlag().load(std::memory_order_relaxed);
+}
+
+void
+setSpansEnabled(bool on)
+{
+    spanFlag().store(on, std::memory_order_relaxed);
+}
+
+SpanBuffer &
+SpanBuffer::global()
+{
+    static SpanBuffer instance;
+    return instance;
+}
+
+void
+SpanBuffer::record(Span span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spans_.size() >= capacity_)
+    {
+        spans_.pop_front();
+        ++dropped_;
+    }
+    spans_.push_back(std::move(span));
+}
+
+std::deque<Span>
+SpanBuffer::drain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<Span> out;
+    out.swap(spans_);
+    return out;
+}
+
+std::uint64_t
+SpanBuffer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+SpanBuffer::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity ? capacity : 1;
+    while (spans_.size() > capacity_)
+    {
+        spans_.pop_front();
+        ++dropped_;
+    }
+}
+
+namespace
+{
+
+void
+appendEscaped(std::ostringstream &out, const std::string &s)
+{
+    for (char c : s)
+    {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+}
+
+} // namespace
+
+std::string
+SpanBuffer::toChromeTrace()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\"traceEvents\": [";
+    bool first = true;
+    for (const Span &span : spans_)
+    {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "{\"name\": \"";
+        appendEscaped(out, span.name);
+        out << "\", \"cat\": \"";
+        appendEscaped(out, span.category);
+        out << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << span.track
+            << ", \"ts\": " << span.startNs / 1000 << "."
+            << span.startNs % 1000 / 100
+            << ", \"dur\": " << span.durNs / 1000 << "."
+            << span.durNs % 1000 / 100;
+        if (!span.arg.empty())
+        {
+            out << ", \"args\": {\"detail\": \"";
+            appendEscaped(out, span.arg);
+            out << "\"}";
+        }
+        out << "}";
+    }
+    out << "],\n\"displayTimeUnit\": \"ms\", \"otherData\": "
+           "{\"dropped_spans\": "
+        << dropped_ << "}}";
+    return out.str();
+}
+
+bool
+SpanBuffer::writeChromeTrace(const std::string &path)
+{
+    const std::string text = toChromeTrace();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace telemetry
+} // namespace pmdb

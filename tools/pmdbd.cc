@@ -9,16 +9,23 @@
  * Usage:
  *   pmdbd --socket PATH [--shards N] [--stripe-bytes B]
  *         [--array-capacity N] [--pollers N] [--pin-cores]
- *         [--once N] [--json]
+ *         [--once N] [--json] [--metrics-sock PATH]
+ *         [--stats-interval SEC] [--trace-out FILE]
  *
- *   --pollers N   ring-poller threads multiplexing client rings.
- *   --pin-cores   pin pollers + shard workers to distinct cores.
- *   --once N      exit after N sessions complete (CI smoke tests);
- *                 without it, run until SIGINT/SIGTERM.
- *   --json        print the aggregated per-session report on exit,
- *                 including ingest counters (batches drained,
- *                 events/s, steals, queue-full stalls, idle-poll
- *                 ratio).
+ *   --pollers N         ring-poller threads multiplexing client rings.
+ *   --pin-cores         pin pollers + shard workers to distinct cores.
+ *   --once N            exit after N sessions complete (CI smoke
+ *                       tests); without it, run until SIGINT/SIGTERM.
+ *   --json              print the aggregated per-session report on
+ *                       exit, including ingest counters (batches
+ *                       drained, events/s, steals, queue-full stalls,
+ *                       idle-poll ratio) and the live metrics snapshot.
+ *   --metrics-sock PATH serve live metrics snapshots on a second Unix
+ *                       socket; clients send "json" or "prom" and get
+ *                       one snapshot back (see tools/pmdb_stat).
+ *   --stats-interval S  log a one-line ingest summary every S seconds.
+ *   --trace-out FILE    enable pipeline span tracing and write a
+ *                       Chrome/Perfetto trace-event JSON on exit.
  */
 
 #include <atomic>
@@ -50,7 +57,9 @@ usage(const char *argv0)
                  "usage: %s --socket PATH [--shards N] "
                  "[--stripe-bytes B]\n"
                  "          [--array-capacity N] [--pollers N] "
-                 "[--pin-cores] [--once N] [--json]\n",
+                 "[--pin-cores] [--once N] [--json]\n"
+                 "          [--metrics-sock PATH] "
+                 "[--stats-interval SEC] [--trace-out FILE]\n",
                  argv0);
 }
 
@@ -88,6 +97,13 @@ main(int argc, char **argv)
             config.pollers = std::strtoull(next(), nullptr, 10);
         else if (arg == "--pin-cores")
             config.pinCores = true;
+        else if (arg == "--metrics-sock")
+            config.metricsSocketPath = next();
+        else if (arg == "--stats-interval")
+            config.statsIntervalSec = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        else if (arg == "--trace-out")
+            config.traceOutPath = next();
         else if (arg == "--once")
             once = std::strtol(next(), nullptr, 10);
         else if (arg == "--json")
